@@ -1,0 +1,45 @@
+"""Ablations of the ConScale controller and system design choices.
+
+* actuation headroom — DESIGN.md argues that actuating exactly at the
+  estimated Q_lower parks the bottleneck CPU just under the hardware
+  scaler's threshold; a modest headroom (the default 1.15) should be
+  at least as good at the tail as no headroom;
+* load-balancing policy — the paper adopts HAProxy ``leastconn``; the
+  bench compares it against ``roundrobin`` on the EC2 baseline.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+from repro.experiments.ablation import balancer_ablation, headroom_ablation
+from repro.experiments.report import format_table
+
+
+def _render(points, knob_name):
+    rows = [(p.knob, round(p.p99_ms, 1)) for p in points]
+    return format_table([knob_name, "p99_ms"], rows)
+
+
+def test_ablation_headroom(benchmark):
+    points = run_once(
+        benchmark, headroom_ablation,
+        headrooms=(1.0, 1.15, 1.4),
+        load_scale=BENCH_SCALE, duration=400.0, seed=BENCH_SEED,
+    )
+    print()
+    print(_render(points, "headroom"))
+    by_knob = {p.knob: p for p in points}
+    # the default headroom must not be worse than the no-headroom
+    # variant by more than noise
+    assert by_knob[1.15].p99_ms <= by_knob[1.0].p99_ms * 1.25
+
+
+def test_ablation_balancer_policy(benchmark):
+    points = run_once(
+        benchmark, balancer_ablation,
+        load_scale=BENCH_SCALE, duration=400.0, seed=BENCH_SEED,
+    )
+    print()
+    print(_render(points, "policy"))
+    by_knob = {p.knob: p for p in points}
+    # leastconn should not lose badly to roundrobin (it is the paper's
+    # choice precisely because it absorbs imbalance)
+    assert by_knob["leastconn"].p99_ms <= by_knob["roundrobin"].p99_ms * 1.2

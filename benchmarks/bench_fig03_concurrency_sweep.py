@@ -1,0 +1,34 @@
+"""Fig. 3 — throughput/RT vs controlled concurrency for Tomcat.
+
+Paper: (a) 1-core Tomcat peaks at concurrency 10; (b) 2-core at 20;
+(c) 2-core with a doubled dataset at 15. I.e. vertical scaling raises
+the optimal concurrency roughly with the core count, and dataset growth
+lowers it.
+
+Reproduction claims checked: the 2-core optimum is >= 1.4x the 1-core
+optimum; doubling the dataset lowers the 2-core optimum. (Our absolute
+Tomcat numbers are higher than the paper's because the thread-count
+axis includes threads blocked on the DB call; the shifts match. See
+EXPERIMENTS.md.)
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure3
+
+
+def test_fig3_tomcat_sweeps(benchmark, results_dir):
+    data = run_once(benchmark, figure3, duration=20.0)
+    print()
+    print(data.render())
+    data.to_csv(results_dir)
+
+    q = {c.label: c.q_lower for c in data.cases}
+    assert q["Tomcat 2-core"] >= 1.4 * q["Tomcat 1-core"]
+    assert q["Tomcat 2-core, 2x dataset"] < q["Tomcat 2-core"]
+    # each case shows the three-stage curve: the peak is interior
+    for case in data.cases:
+        tps = [p.throughput for p in case.result.points]
+        peak_idx = tps.index(max(tps))
+        assert 0 < peak_idx < len(tps) - 1, f"{case.label}: no interior peak"
+        # descending stage: the last point is well below the peak
+        assert tps[-1] < 0.9 * max(tps)

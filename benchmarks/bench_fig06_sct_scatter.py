@@ -1,0 +1,40 @@
+"""Fig. 6 — the SCT scatter: TP vs Q and RT vs Q for MySQL.
+
+Paper: the 50 ms scatter of a bottleneck MySQL shows the three stages
+(ascending / stable / descending); the rational concurrency range is
+read off the plateau, and its lower bound (~10 for 1-core MySQL) is the
+optimal setting because response time is minimal there.
+
+Reproduction claims checked: the SCT estimate lands at Q_lower in
+[8, 13] with an observed plateau and descending stage; RT at Q_lower is
+a small fraction of RT at the high-concurrency end.
+"""
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure6
+
+
+def test_fig6_sct_scatter(benchmark, results_dir):
+    data = run_once(benchmark, figure6, q_max=80, q_step=2, dwell=3.0)
+    print()
+    print(data.render())
+    data.to_csv(results_dir)
+
+    est = data.estimate
+    assert 8 <= est.q_lower <= 13, est.describe()
+    assert est.saturation_observed and est.ascending_observed
+    assert est.hardware_limited
+
+    # RT grows severely past the plateau (Fig. 6b)
+    low_rt = [t.rt for t in data.tuples if t.q <= est.q_lower and not math.isnan(t.rt)]
+    high_rt = [t.rt for t in data.tuples if t.q >= 60 and not math.isnan(t.rt)]
+    assert np.mean(high_rt) > 3 * np.mean(low_rt)
+
+    # throughput at the descending end is clearly below the plateau
+    plateau_tp = est.tp_max
+    tail_tp = np.mean([t.tp for t in data.tuples if t.q >= 70])
+    assert tail_tp < 0.75 * plateau_tp

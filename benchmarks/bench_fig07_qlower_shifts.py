@@ -1,0 +1,36 @@
+"""Fig. 7 — Q_lower shifts under environment changes.
+
+Paper anchors:
+  (a)/(d)  MySQL vertical scaling 1-core -> 2-core: Q_lower 10 -> 20
+  (b)/(e)  Tomcat dataset original -> enlarged:     Q_lower 20 -> 15
+  (c)/(f)  MySQL CPU-intensive -> I/O-intensive:    Q_lower 15 -> 5
+
+Reproduction claims checked: MySQL doubles with the core count
+(10 -> ~20); the Tomcat optimum drops by ~20-30 % when the dataset is
+doubled; the I/O workload's optimum is ~5 and far below the
+CPU-intensive case's ~15.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure7
+
+
+def test_fig7_qlower_shifts(benchmark, results_dir):
+    data = run_once(benchmark, figure7, duration=20.0)
+    print()
+    print(data.render())
+    data.to_csv(results_dir)
+
+    shifts = data.shifts()
+
+    v1, v2 = shifts["vertical_scaling"]
+    assert 8 <= v1 <= 12, f"MySQL 1-core Q_lower {v1} (paper: 10)"
+    assert 1.7 * v1 <= v2 <= 2.5 * v1, f"2-core Q_lower {v2} (paper: 20)"
+
+    d1, d2 = shifts["dataset_size"]
+    assert d2 < d1, "enlarged dataset must lower the Tomcat optimum"
+    assert 0.6 <= d2 / d1 <= 0.9, f"shift ratio {d2 / d1:.2f} (paper: 15/20=0.75)"
+
+    w1, w2 = shifts["workload_type"]
+    assert 12 <= w1 <= 20, f"CPU-intensive Q_lower {w1} (paper: 15)"
+    assert w2 <= 8, f"I/O-intensive Q_lower {w2} (paper: 5)"

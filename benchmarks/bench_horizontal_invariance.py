@@ -1,0 +1,50 @@
+"""The paper's omitted "interesting phenomenon": horizontal scaling
+does NOT change the per-server optimal concurrency.
+
+Section III-C-1 notes that, unlike vertical scaling, adding replicas
+leaves each server's own optimal concurrency unchanged (details omitted
+in the paper for space). We verify it on the substrate: sweeping the
+*total* DB-tier concurrency against one vs. two MySQL replicas, the
+tier-level optimum doubles — i.e. the per-server optimum is invariant —
+while vertical scaling (Fig. 7a/d) moves the per-server optimum itself.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.calibration import Calibration, ample_capacity, db_capacity_cpu
+from repro.experiments.report import format_table
+from repro.experiments.sweep import concurrency_sweep
+from repro.workload.mixes import browse_only_mix
+
+
+def _sweeps():
+    cal = Calibration()
+    mix = browse_only_mix(cal.base_demands)
+    ample = ample_capacity()
+    caps = {"web": ample, "app": ample, "db": db_capacity_cpu(1.0)}
+    levels_1 = [2, 4, 6, 8, 10, 12, 14, 16, 20, 26, 34, 44]
+    levels_2 = [4, 8, 12, 16, 20, 24, 28, 32, 40, 52, 68, 88]
+    one = concurrency_sweep("db", caps, mix, levels_1, topology=(1, 1, 1),
+                            duration=15.0)
+    two = concurrency_sweep("db", caps, mix, levels_2, topology=(1, 1, 2),
+                            duration=15.0)
+    return one, two
+
+
+def test_horizontal_scaling_invariance(benchmark):
+    one, two = run_once(benchmark, _sweeps)
+    rows = [
+        ("1 MySQL", one.q_lower(), round(one.peak_throughput(), 1)),
+        ("2 MySQL (total Q)", two.q_lower(), round(two.peak_throughput(), 1)),
+        ("2 MySQL (per server)", two.q_lower() / 2, ""),
+    ]
+    print()
+    print(format_table(["configuration", "Q_lower", "peak_tp_rps"], rows))
+
+    per_server_1 = one.q_lower()
+    per_server_2 = two.q_lower() / 2
+    # invariance: per-server optimum within one grid step
+    assert abs(per_server_2 - per_server_1) <= 3, (
+        f"per-server optimum moved: {per_server_1} -> {per_server_2}"
+    )
+    # capacity roughly doubles with the replica count
+    assert two.peak_throughput() > 1.6 * one.peak_throughput()

@@ -1,0 +1,72 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These are conventional pytest-benchmark timings (many rounds) of the
+hot paths that determine how large an evaluation run the harness can
+afford: the event calendar, the PS server, and the SCT estimation.
+"""
+
+import numpy as np
+
+from repro.ntier.capacity import CapacityModel, ContentionModel, Resource
+from repro.ntier.request import Request
+from repro.ntier.server import Server, ServerConfig
+from repro.sct.model import SCTModel
+from repro.sct.tuples import MetricTuple
+from repro.sim.engine import Simulator
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule+run cost of 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule_after(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_ps_server_churn(benchmark):
+    """Admit/work/release cycles through a contended PS server."""
+    capacity = CapacityModel(
+        [Resource("cpu", 1.0, 0.1)], ContentionModel(3e-3, 2e-4)
+    )
+
+    def run():
+        sim = Simulator()
+        server = Server(sim, ServerConfig("db-1", "db", capacity, 100))
+
+        def flow(r):
+            server.work(r, 0.01, lambda x: server.release(x))
+
+        for i in range(2_000):
+            sim.schedule(i * 0.0005, server.admit,
+                         Request(i, "X", 0.0, {"db": 0.01}), flow)
+        sim.run()
+        return server.completions
+
+    assert benchmark(run) == 2_000
+
+
+def test_sct_estimation_cost(benchmark):
+    """One SCT estimate over a realistic window of tuples."""
+    rng = np.random.default_rng(0)
+    tuples = []
+    for q in range(1, 60):
+        tp = 100.0 * min(q, 10) / 10 / (1 + 2e-4 * q * (q - 1))
+        for _ in range(12):
+            tuples.append(
+                MetricTuple(q, tp * (1 + rng.normal(0, 0.05)), 0.01, min(1.0, q / 10))
+            )
+    model = SCTModel()
+
+    est = benchmark(model.estimate, tuples)
+    assert 8 <= est.q_lower <= 13

@@ -1,0 +1,46 @@
+"""Table I — 95th/99th-percentile RT, EC2-AutoScaling vs ConScale,
+across the six realistic traces.
+
+Paper (ms):
+  trace              EC2 p95 / ConScale p95   EC2 p99 / ConScale p99
+  Large Variation        462 / 157               2345 / 465
+  Quickly Varying        157 /  48                684 / 229
+  Slowly Varying        1135 /  85               3252 / 218
+  Big Spike              687 / 179               3981 / 479
+  Dual Phase             225 /  81               1153 / 328
+  Steep Tri Phase        101 /  56               1259 / 171
+
+Absolute numbers depend on the testbed; the reproduction bar is the
+*shape*: ConScale's tails beat EC2's on (nearly) every trace, typically
+by 1.5-5x at p99, and ConScale's p99 stays bounded on all traces.
+Note: on our simulated substrate, slow single-ramp traces
+(slowly_varying) never trigger the concurrency-collapse mechanism, so
+both frameworks tie there — see EXPERIMENTS.md for the discussion.
+"""
+
+from benchmarks.conftest import BENCH_DURATION, BENCH_SCALE, BENCH_SEED, run_once
+from repro.experiments.figures import table1
+from repro.workload.shapes import TRACE_NAMES
+
+
+def test_table1_tail_latency(benchmark, results_dir):
+    data = run_once(
+        benchmark, table1,
+        load_scale=BENCH_SCALE, duration=BENCH_DURATION, seed=BENCH_SEED,
+    )
+    print()
+    print(data.render())
+    data.to_csv(results_dir)
+
+    wins = 0
+    for trace in TRACE_NAMES:
+        ec2 = data.results[trace]["ec2"]
+        cs = data.results[trace]["conscale"]
+        # ConScale never clearly loses
+        assert cs.p99 <= ec2.p99 * 1.15, (
+            f"{trace}: conscale p99 {cs.p99 * 1000:.0f}ms vs "
+            f"ec2 {ec2.p99 * 1000:.0f}ms"
+        )
+        if cs.p99 < ec2.p99 / 1.4:
+            wins += 1
+    assert wins >= 4, f"expected clear p99 wins on most traces, got {wins}"

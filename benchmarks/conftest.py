@@ -1,0 +1,36 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Every bench regenerates one table or figure of the paper at a reduced
+(but shape-preserving) scale, prints the series to stdout, writes CSVs
+under ``results/``, and asserts the paper's qualitative claim.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — load scale for the evaluation runs
+  (default 50; 1 = the paper's full scale, slower by ~50x).
+* ``REPRO_BENCH_DURATION`` — trace duration in seconds (default 700,
+  the paper's 12-minute runs are 720 s).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.report import ensure_results_dir
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "50"))
+BENCH_DURATION = float(os.environ.get("REPRO_BENCH_DURATION", "700"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "3"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    return ensure_results_dir(os.path.join(os.path.dirname(__file__), "..", "results"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive figure generator exactly once under the
+    pytest-benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

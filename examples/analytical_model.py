@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Analytical queueing model vs. discrete-event simulation.
+
+Solves the calibrated 3-tier system with exact Mean Value Analysis
+(load-dependent stations — the same model family DCM trains on) and
+overlays simulated measurements, demonstrating that the two independent
+implementations agree — including the throughput *descent* past the
+rational concurrency range, which plain M/M/k models cannot express.
+
+Usage:
+    python examples/analytical_model.py [max_users]
+"""
+
+import sys
+
+from repro.experiments.calibration import Calibration
+from repro.experiments.report import ascii_chart, format_table
+from repro.ntier.app import NTierApplication, SoftResourceAllocation
+from repro.ntier.server import Server, ServerConfig
+from repro.qnet.network import predict_closed_loop
+from repro.rng import RngRegistry
+from repro.sim.engine import Simulator
+from repro.workload.generator import ClosedLoopGenerator, RequestFactory
+from repro.workload.mixes import browse_only_mix
+
+
+def simulate(n, cal, mix, duration=30.0):
+    sim = Simulator()
+    app = NTierApplication(sim, SoftResourceAllocation(10**5, 10**5, 10**5))
+    for tier in ("web", "app", "db"):
+        app.attach_server(
+            Server(sim, ServerConfig(f"{tier}-1", tier, cal.capacity(tier), 10**5))
+        )
+    rng = RngRegistry(23 + n)
+    ClosedLoopGenerator(
+        sim, app, n, RequestFactory(mix, rng.stream("d")), rng.stream("u"),
+        think_time=0.0,
+    ).start()
+    sim.run(until=duration)
+    return app.completed / duration
+
+
+def main() -> None:
+    n_max = int(sys.argv[1]) if len(sys.argv) > 1 else 50
+    cal = Calibration()
+    mix = browse_only_mix(cal.base_demands)
+    demands = {t: mix.mean_demand(t) for t in ("web", "app", "db")}
+    capacities = {t: cal.capacity(t) for t in ("web", "app", "db")}
+    prediction = predict_closed_loop(capacities, demands, n_max=n_max)
+
+    sample_ns = sorted({1, 2, 4, 8, 12, 18, 25, 35, n_max} & set(range(1, n_max + 1)))
+    rows = []
+    for n in sample_ns:
+        print(f"simulating N={n} ...")
+        x_sim = simulate(n, cal, mix)
+        x_mva, r_mva = prediction.result.at(n)
+        rows.append((n, round(x_mva, 1), round(x_sim, 1),
+                     round(100 * abs(x_sim - x_mva) / x_mva, 1)))
+
+    print()
+    print(format_table(
+        ["users", "MVA_rps", "sim_rps", "error_%"], rows
+    ))
+    print()
+    print(ascii_chart(
+        list(prediction.result.populations),
+        list(prediction.result.throughput),
+        label="analytical closed-loop throughput [req/s] vs users "
+              f"(bottleneck: {prediction.bottleneck})",
+    ))
+    print(
+        "\nNote the descent past the knee: the load-dependent stations"
+        "\ncarry the USL contention penalty, so the analytical model"
+        "\nreproduces the paper's descending stage, not just saturation."
+    )
+
+
+if __name__ == "__main__":
+    main()

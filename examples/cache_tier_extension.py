@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Extend the 3-tier deployment with a Memcached-style cache tier.
+
+The paper notes the RUBBoS deployment can grow extra tiers on demand
+(load balancer, cache). This example builds the same bottlenecked
+system twice — without and with a cache tier — and shows how the cache
+moves the bottleneck away from MySQL, raising capacity and changing
+which soft resource matters (another "runtime environment change" the
+SCT model has to follow).
+
+Usage:
+    python examples/cache_tier_extension.py [hit_ratio]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.experiments.calibration import Calibration, ample_capacity, db_capacity_cpu
+from repro.experiments.report import format_table
+from repro.ntier.app import CACHE, DB, NTierApplication, SoftResourceAllocation
+from repro.ntier.cache import CachePolicy
+from repro.ntier.server import Server, ServerConfig
+from repro.rng import RngRegistry
+from repro.sim.engine import Simulator
+from repro.workload.generator import ClosedLoopGenerator, RequestFactory
+from repro.workload.mixes import browse_only_mix
+
+
+def run(users: int, hit_ratio: float | None, seed: int = 5):
+    """Closed-loop run; returns (throughput, mean RT ms, db util)."""
+    rng = RngRegistry(seed)
+    sim = Simulator()
+    policy = (
+        CachePolicy(rng.stream("cache"), hit_ratio=hit_ratio)
+        if hit_ratio is not None
+        else None
+    )
+    app = NTierApplication(
+        sim, SoftResourceAllocation(100_000, 100_000, 40), cache_policy=policy
+    )
+    servers = [
+        Server(sim, ServerConfig("web-1", "web", ample_capacity(), 100_000)),
+        Server(sim, ServerConfig("app-1", "app", ample_capacity(), 100_000)),
+        Server(sim, ServerConfig("db-1", DB, db_capacity_cpu(1.0), 100_000)),
+    ]
+    if policy is not None:
+        servers.append(
+            Server(sim, ServerConfig("cache-1", CACHE, ample_capacity(), 100_000))
+        )
+    for server in servers:
+        app.attach_server(server)
+
+    cal = Calibration()
+    mix = browse_only_mix(cal.base_demands)
+    factory = RequestFactory(mix, rng.stream("demand"))
+    latencies = []
+    app.on_complete(lambda r: latencies.append(r.response_time))
+    ClosedLoopGenerator(
+        sim, app, users, factory, rng.stream("users"), think_time=0.0
+    ).start()
+    duration = 20.0
+    sim.run(until=duration)
+    db = app.tiers[DB].servers[0]
+    db.sync_monitors()
+    return (
+        len(latencies) / duration,
+        float(np.mean(latencies)) * 1000,
+        db.util_integral["cpu"] / duration,
+    )
+
+
+def main() -> None:
+    hit_ratio = float(sys.argv[1]) if len(sys.argv) > 1 else 0.8
+    rows = []
+    for label, ratio in [("no cache", None), (f"cache (hit={hit_ratio:.0%})", hit_ratio)]:
+        for users in (10, 20, 40, 80):
+            print(f"running {label}, {users} users ...")
+            tp, rt, util = run(users, ratio)
+            rows.append((label, users, round(tp, 0), round(rt, 2), round(util, 2)))
+    print()
+    print(format_table(
+        ["configuration", "users", "throughput_rps", "mean_rt_ms", "db_cpu"], rows
+    ))
+    print(
+        "\nWith the cache tier the same MySQL serves several times the"
+        "\nthroughput before saturating — the bottleneck (and therefore"
+        "\nthe soft resource worth tuning) has moved."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Offline capacity planning with concurrency sweeps (the Fig. 3/7
+methodology as a what-if tool).
+
+Given a server configuration (CPU cores, workload mode, dataset size),
+sweep the offered concurrency to find the pool size an operator should
+configure — and show how the recommendation moves under three
+environment changes the paper studies: vertical scaling, dataset
+growth, and a workload-mode switch.
+
+Usage:
+    python examples/capacity_planning.py
+"""
+
+from repro.experiments.calibration import (
+    Calibration,
+    ample_capacity,
+    app_capacity,
+    db_capacity_cpu,
+    db_capacity_io,
+)
+from repro.experiments.report import format_table
+from repro.experiments.sweep import concurrency_sweep
+from repro.workload.mixes import browse_only_mix, read_write_mix
+
+
+def plan(label, target, capacities, mix, levels, dataset_scale=1.0):
+    result = concurrency_sweep(
+        target, capacities, mix, levels, duration=15.0,
+        dataset_scale=dataset_scale,
+    )
+    q = result.q_lower()
+    peak = result.peak_throughput()
+    rt_at_q = next(
+        p.response_time for p in result.points if p.concurrency == q
+    )
+    return (label, q, round(peak, 0), round(rt_at_q * 1000, 2))
+
+
+def main() -> None:
+    cal = Calibration()
+    browse = browse_only_mix(cal.base_demands)
+    readwrite = read_write_mix(cal.base_demands)
+    ample = ample_capacity()
+    db_levels = [2, 4, 6, 8, 10, 12, 15, 18, 20, 22, 25, 30, 40, 60]
+    app_levels = [6, 10, 15, 20, 25, 28, 32, 40, 50, 60, 80]
+
+    rows = []
+    print("sweeping MySQL (1-core, browse-only) ...")
+    rows.append(plan(
+        "MySQL 1-core, browse", "db",
+        {"web": ample, "app": ample, "db": db_capacity_cpu(1.0)},
+        browse, db_levels,
+    ))
+    print("sweeping MySQL (2-core, browse-only) — vertical scaling ...")
+    rows.append(plan(
+        "MySQL 2-core, browse", "db",
+        {"web": ample, "app": ample, "db": db_capacity_cpu(2.0)},
+        browse, db_levels,
+    ))
+    print("sweeping MySQL (1-core, read/write mix) — workload switch ...")
+    rows.append(plan(
+        "MySQL 1-core, read/write", "db",
+        {"web": ample, "app": ample, "db": db_capacity_io(1.0)},
+        readwrite, [1, 2, 3, 4, 5, 6, 8, 10, 15, 20, 30],
+    ))
+    print("sweeping Tomcat (original dataset) ...")
+    rows.append(plan(
+        "Tomcat, original dataset", "app",
+        {"web": ample, "app": app_capacity(1.0), "db": ample},
+        browse, app_levels,
+    ))
+    print("sweeping Tomcat (doubled dataset) — system-state change ...")
+    rows.append(plan(
+        "Tomcat, 2x dataset", "app",
+        {"web": ample, "app": app_capacity(1.0, dataset_scale=2.0), "db": ample},
+        browse, app_levels, dataset_scale=2.0,
+    ))
+
+    print()
+    print(format_table(
+        ["configuration", "recommended pool size", "peak_tp_rps", "rt_at_opt_ms"],
+        rows,
+    ))
+    print(
+        "\nNote how every environment change moves the recommendation —"
+        "\nthe reason the paper replaces static pre-profiling with the"
+        "\nonline SCT model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Study a scaling framework across all six bursty workload categories.
+
+Runs the chosen framework over every Fig. 9 trace shape, then reports
+tail latencies and stability metrics (spike episodes against an SLA,
+coefficient of variation) per trace — the raw material behind Table I.
+
+Usage:
+    python examples/trace_study.py [framework] [sla_ms]
+
+    framework: ec2 | dcm | conscale   (default: conscale)
+    sla_ms:    SLA threshold in ms for spike counting (default: 500)
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ScenarioConfig, run_experiment
+from repro.analysis.stats import fluctuation_summary
+from repro.experiments.report import format_table
+from repro.workload.shapes import TRACE_NAMES
+
+
+def main() -> None:
+    framework = sys.argv[1] if len(sys.argv) > 1 else "conscale"
+    sla = float(sys.argv[2]) / 1000.0 if len(sys.argv) > 2 else 0.5
+
+    rows = []
+    for trace in TRACE_NAMES:
+        config = ScenarioConfig(
+            name=f"study-{trace}", trace_name=trace,
+            load_scale=50, duration=400.0, seed=3,
+        )
+        print(f"running {framework} on {trace} ...")
+        result = run_experiment(framework, config)
+        tail = result.tail()
+        bins = result.timeline(5.0)
+        times = np.array([b.t_start for b in bins])
+        p95s = np.array([b.p95_rt for b in bins])
+        stability = fluctuation_summary(times, p95s, sla=sla)
+        rows.append(
+            (
+                trace,
+                round(tail.p95 * 1000, 1),
+                round(tail.p99 * 1000, 1),
+                stability.n_spikes,
+                round(stability.time_above_sla, 1),
+                round(stability.cov, 2),
+            )
+        )
+
+    print()
+    print(f"framework: {framework}, SLA: {sla * 1000:.0f} ms")
+    print(format_table(
+        ["trace", "p95_ms", "p99_ms", "sla_spikes", "time_over_sla_s", "rt_cov"],
+        rows,
+    ))
+    worst = max(rows, key=lambda r: r[2])
+    print(f"\nworst trace for {framework}: {worst[0]} "
+          f"(p99 = {worst[2]} ms)")
+
+    # Per-servlet breakdown on the worst trace: which interactions
+    # dominate the tail there?
+    config = ScenarioConfig(
+        name="study-breakdown", trace_name=worst[0],
+        load_scale=50, duration=400.0, seed=3,
+    )
+    result = run_experiment(framework, config)
+    by_servlet = result.request_log.by_interaction()
+    scale = config.rt_scale
+    breakdown = sorted(
+        (
+            (name, len(lats), float(np.percentile(lats, 99)) / scale * 1000)
+            for name, lats in by_servlet.items()
+            if len(lats) >= 50
+        ),
+        key=lambda row: -row[2],
+    )[:5]
+    print(f"\nslowest servlets on {worst[0]} (p99, ms):")
+    print(format_table(["interaction", "requests", "p99_ms"],
+                       [(n, c, round(p, 1)) for n, c, p in breakdown]))
+
+
+if __name__ == "__main__":
+    main()

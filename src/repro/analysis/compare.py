@@ -1,0 +1,57 @@
+"""Framework comparison summaries (the Table I computation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.monitoring.percentiles import TailSummary, tail_summary
+
+__all__ = ["FrameworkResult", "compare_frameworks", "improvement"]
+
+
+@dataclass(frozen=True, slots=True)
+class FrameworkResult:
+    """One framework's latency outcome on one workload trace."""
+
+    framework: str
+    trace: str
+    tail: TailSummary
+
+    @classmethod
+    def from_latencies(
+        cls, framework: str, trace: str, latencies
+    ) -> "FrameworkResult":
+        """Build from raw per-request latencies (seconds)."""
+        return cls(framework=framework, trace=trace, tail=tail_summary(latencies))
+
+
+def improvement(baseline: float, ours: float) -> float:
+    """Factor by which ``ours`` improves on ``baseline`` (>1 = better)."""
+    if ours <= 0:
+        raise ReproError(f"cannot compute improvement with ours={ours!r}")
+    return baseline / ours
+
+
+def compare_frameworks(
+    results: list[FrameworkResult], baseline: str
+) -> dict[tuple[str, str], dict[str, float]]:
+    """Per (framework, trace): p95/p99 and improvement over the baseline.
+
+    Returns ``{(framework, trace): {"p95": ..., "p99": ...,
+    "p95_improvement": ..., "p99_improvement": ...}}`` where the
+    improvement keys are present only for non-baseline frameworks with
+    a matching baseline run.
+    """
+    base: dict[str, FrameworkResult] = {
+        r.trace: r for r in results if r.framework == baseline
+    }
+    out: dict[tuple[str, str], dict[str, float]] = {}
+    for r in results:
+        row: dict[str, float] = {"p95": r.tail.p95, "p99": r.tail.p99}
+        if r.framework != baseline and r.trace in base:
+            b = base[r.trace].tail
+            row["p95_improvement"] = improvement(b.p95, r.tail.p95)
+            row["p99_improvement"] = improvement(b.p99, r.tail.p99)
+        out[(r.framework, r.trace)] = row
+    return out

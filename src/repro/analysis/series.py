@@ -1,0 +1,45 @@
+"""Small time-series utilities used by the figures and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["moving_average", "coefficient_of_variation"]
+
+
+def moving_average(values, window: int) -> np.ndarray:
+    """Centered moving average, NaN-tolerant, same length as input.
+
+    Edge windows shrink symmetrically rather than padding, so the ends
+    of the series are not biased toward zero.
+    """
+    arr = np.asarray(values, dtype=float)
+    if window < 1:
+        raise ReproError(f"window must be >= 1, got {window!r}")
+    if arr.ndim != 1:
+        raise ReproError("moving_average expects a 1-D series")
+    n = arr.size
+    out = np.empty(n)
+    half = window // 2
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        seg = arr[lo:hi]
+        valid = seg[~np.isnan(seg)]
+        out[i] = valid.mean() if valid.size else np.nan
+    return out
+
+
+def coefficient_of_variation(values) -> float:
+    """std/mean of the non-NaN entries; the paper's "fluctuation" in one
+    number. Returns NaN for empty input, 0 for a zero-mean series."""
+    arr = np.asarray(values, dtype=float)
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        return float("nan")
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float(arr.std() / abs(mean))

@@ -1,0 +1,293 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — one scenario under one framework, print the tail summary;
+* ``compare`` — all four frameworks on one trace (JSON/HTML export);
+* ``sweep`` — a concurrency sweep against one tier;
+* ``table1`` — regenerate Table I;
+* ``figure`` — regenerate one figure by number (1, 3, 5, 6, 7, 9, 10, 11);
+* ``predict`` — analytical (MVA) closed-loop throughput/latency curve;
+* ``traces`` — list the six built-in trace shapes.
+
+Figures print their series and write CSVs under ``--results``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.experiments import figures as figures_mod
+from repro.experiments.calibration import (
+    Calibration,
+    ample_capacity,
+    app_capacity,
+    db_capacity_cpu,
+    db_capacity_io,
+)
+from repro.experiments.report import ensure_results_dir, format_table
+from repro.experiments.runner import FRAMEWORKS, run_experiment
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.sweep import concurrency_sweep
+from repro.workload.mixes import browse_only_mix, read_write_mix
+from repro.workload.shapes import TRACE_NAMES, make_trace
+
+__all__ = ["main"]
+
+
+def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default="large_variations",
+        help=f"one of {', '.join(TRACE_NAMES)}, or a path to a "
+        "t_s,users CSV file to replay",
+    )
+    parser.add_argument("--scale", type=float, default=50.0,
+                        help="load scale (1 = paper scale, slower)")
+    parser.add_argument("--duration", type=float, default=700.0)
+    parser.add_argument("--seed", type=int, default=3)
+
+
+def _config(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig(
+        name="cli", trace_name=args.trace, load_scale=args.scale,
+        duration=args.duration, seed=args.seed,
+    )
+
+
+def _tail_row(framework: str, result) -> tuple:
+    tail = result.tail()
+    return (
+        framework,
+        result.completed,
+        round(tail.p50 * 1000, 1),
+        round(tail.p95 * 1000, 1),
+        round(tail.p99 * 1000, 1),
+        int(result.vm_counts.max()),
+    )
+
+
+_TAIL_HEADERS = ["framework", "requests", "p50_ms", "p95_ms", "p99_ms", "max_vms"]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.framework, _config(args))
+    print(format_table(_TAIL_HEADERS, [_tail_row(args.framework, result)]))
+    if args.save:
+        from repro.experiments.persistence import save_result
+
+        print(f"summary written to {save_result(result, args.save)}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    summaries = []
+    for framework in FRAMEWORKS:
+        print(f"running {framework} on {args.trace} ...", file=sys.stderr)
+        result = run_experiment(framework, _config(args))
+        rows.append(_tail_row(framework, result))
+        if args.save or args.html:
+            from repro.experiments.persistence import result_summary
+
+            summaries.append(result_summary(result))
+        if args.save:
+            from repro.experiments.persistence import save_result
+
+            save_result(
+                result, os.path.join(args.save, f"{framework}_{args.trace}.json")
+            )
+    print(format_table(_TAIL_HEADERS, rows))
+    if args.save:
+        print(f"summaries written under {args.save}/")
+    if args.html:
+        from repro.experiments.htmlreport import write_html_report
+
+        path = write_html_report(
+            summaries, args.html, title=f"framework comparison — {args.trace}"
+        )
+        print(f"HTML report written to {path}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    cal = Calibration()
+    mix = (
+        read_write_mix(cal.base_demands)
+        if args.workload == "readwrite"
+        else browse_only_mix(cal.base_demands)
+    )
+    ample = ample_capacity()
+    if args.tier == "db":
+        target_cap = (
+            db_capacity_io(args.cores)
+            if args.workload == "readwrite"
+            else db_capacity_cpu(args.cores)
+        )
+        caps = {"web": ample, "app": ample, "db": target_cap}
+    else:
+        caps = {
+            "web": ample,
+            "app": app_capacity(args.cores, args.dataset),
+            "db": ample,
+        }
+    levels = sorted({int(x) for x in args.levels.split(",")})
+    result = concurrency_sweep(
+        args.tier, caps, mix, levels, duration=args.duration,
+        dataset_scale=args.dataset,
+    )
+    rows = [
+        (p.concurrency, round(p.measured_concurrency, 1),
+         round(p.throughput, 1), round(p.response_time * 1000, 2),
+         round(p.utilization, 3))
+        for p in result.points
+    ]
+    print(format_table(
+        ["level", "measured_Q", "throughput_rps", "rt_ms", "util"], rows
+    ))
+    print(f"\nQ_lower (optimal concurrency): {result.q_lower()}")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    data = figures_mod.table1(
+        load_scale=args.scale, duration=args.duration, seed=args.seed
+    )
+    print(data.render())
+    data.to_csv(ensure_results_dir(args.results))
+    return 0
+
+
+_FIGURES = {
+    "1": lambda a: figures_mod.figure1(a.scale, a.duration, a.seed),
+    "3": lambda a: figures_mod.figure3(),
+    "5": lambda a: figures_mod.figure5(a.scale, min(a.duration, 300.0), a.seed),
+    "6": lambda a: figures_mod.figure6(),
+    "7": lambda a: figures_mod.figure7(),
+    "9": lambda a: figures_mod.figure9(),
+    "10": lambda a: figures_mod.figure10(a.scale, a.duration, a.seed),
+    "11": lambda a: figures_mod.figure11(a.scale, a.duration, a.seed),
+}
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    data = _FIGURES[args.number](args)
+    print(data.render())
+    paths = data.to_csv(ensure_results_dir(args.results))
+    print("\nCSV written:", *paths, sep="\n  ")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    """Analytical (MVA) closed-loop prediction for a 1/1/1 topology."""
+    from repro.qnet.network import predict_closed_loop
+    from repro.workload.mixes import browse_only_mix
+
+    cal = Calibration(
+        app_cores=args.app_cores, db_cores=args.db_cores,
+        dataset_scale=args.dataset,
+    )
+    mix = browse_only_mix(cal.base_demands)
+    capacities = {t: cal.capacity(t) for t in ("web", "app", "db")}
+    demands = {t: mix.mean_demand(t, args.dataset) for t in ("web", "app", "db")}
+    prediction = predict_closed_loop(
+        capacities, demands, n_max=args.users, think_time=args.think
+    )
+    rows = []
+    step = max(1, args.users // 12)
+    for n in range(1, args.users + 1):
+        if n % step == 0 or n == 1 or n == args.users:
+            x, r = prediction.result.at(n)
+            rows.append((n, round(x, 1), round(r * 1000, 2)))
+    print(format_table(["users", "throughput_rps", "response_time_ms"], rows))
+    print(f"\nbottleneck tier: {prediction.bottleneck} "
+          f"(peak {prediction.peak_throughput:.0f} req/s)")
+    return 0
+
+
+def cmd_traces(args: argparse.Namespace) -> int:
+    rows = []
+    for name in TRACE_NAMES:
+        trace = make_trace(name)
+        rows.append(
+            (name, int(trace.users_at(0)), int(trace.max_users),
+             int(trace.users.min()), int(trace.duration))
+        )
+    print(format_table(
+        ["trace", "start_users", "max_users", "min_users", "duration_s"], rows
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ConScale reproduction: SCT-driven concurrency-aware "
+        "autoscaling (IPDPS 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one framework on one trace")
+    p_run.add_argument("framework", choices=FRAMEWORKS)
+    _add_common_run_args(p_run)
+    p_run.add_argument("--save", default=None,
+                       help="write a JSON result summary to this path")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="run all frameworks on one trace")
+    _add_common_run_args(p_cmp)
+    p_cmp.add_argument("--save", default=None,
+                       help="write JSON result summaries into this directory")
+    p_cmp.add_argument("--html", default=None,
+                       help="write a self-contained HTML report to this path")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_sweep = sub.add_parser("sweep", help="concurrency sweep against a tier")
+    p_sweep.add_argument("tier", choices=["app", "db"])
+    p_sweep.add_argument("--cores", type=float, default=1.0)
+    p_sweep.add_argument("--dataset", type=float, default=1.0,
+                         help="dataset scale relative to the original")
+    p_sweep.add_argument("--workload", choices=["browse", "readwrite"],
+                         default="browse")
+    p_sweep.add_argument(
+        "--levels", default="2,4,6,8,10,12,15,20,25,30,40,60,80"
+    )
+    p_sweep.add_argument("--duration", type=float, default=20.0)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table I")
+    _add_common_run_args(p_t1)
+    p_t1.add_argument("--results", default="results")
+    p_t1.set_defaults(func=cmd_table1)
+
+    p_fig = sub.add_parser("figure", help="regenerate one figure")
+    p_fig.add_argument("number", choices=sorted(_FIGURES))
+    _add_common_run_args(p_fig)
+    p_fig.add_argument("--results", default="results")
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_traces = sub.add_parser("traces", help="list the built-in traces")
+    p_traces.set_defaults(func=cmd_traces)
+
+    p_pred = sub.add_parser(
+        "predict", help="analytical (MVA) closed-loop prediction"
+    )
+    p_pred.add_argument("--users", type=int, default=60)
+    p_pred.add_argument("--think", type=float, default=0.0)
+    p_pred.add_argument("--app-cores", type=float, default=1.0)
+    p_pred.add_argument("--db-cores", type=float, default=1.0)
+    p_pred.add_argument("--dataset", type=float, default=1.0)
+    p_pred.set_defaults(func=cmd_predict)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Simulated cloud substrate: VM lifecycle and hypervisor API.
+
+Replaces the paper's VMware ESXi testbed. The behaviourally relevant
+properties are preserved: launching a VM takes a preparation period
+(dataset replication for stateful DB servers — 15 s in the paper's
+setup), VMs run until drained and stopped, and the controller observes
+the total VM count (the right-hand axis of Fig. 1/10/11).
+"""
+
+from repro.cloud.hypervisor import Hypervisor
+from repro.cloud.vm import VM, VmState
+
+__all__ = ["Hypervisor", "VM", "VmState"]

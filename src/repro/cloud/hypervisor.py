@@ -1,0 +1,122 @@
+"""The hypervisor API used by the scaling actuators.
+
+Launching a VM is asynchronous: the paper replicates the MySQL dataset
+before a new DB VM can serve, modelled as a fixed *preparation period*
+(15 s by default) between the launch call and the ready callback. A
+launch may be aborted while still provisioning (scale-in racing a
+scale-out), in which case the VM goes straight to STOPPED and the ready
+callback never fires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cloud.vm import VM, VmState
+from repro.errors import CloudError
+from repro.sim.engine import Simulator
+from repro.sim.event import EventHandle
+
+__all__ = ["Hypervisor"]
+
+
+class Hypervisor:
+    """Manages VM lifecycles on the simulated cluster."""
+
+    def __init__(self, sim: Simulator, prep_period: float = 15.0) -> None:
+        if prep_period < 0:
+            raise CloudError(f"prep_period must be >= 0, got {prep_period!r}")
+        self.sim = sim
+        self.prep_period = float(prep_period)
+        self._vms: dict[str, VM] = {}
+        self._pending: dict[str, EventHandle] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle API
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        tier: str,
+        on_ready: Callable[[VM], None],
+        vcpus: float = 1.0,
+        prep_period: float | None = None,
+    ) -> VM:
+        """Provision a VM; ``on_ready(vm)`` fires after the prep period."""
+        self._counter += 1
+        vm = VM(
+            name=f"{tier}-vm{self._counter}",
+            tier=tier,
+            vcpus=vcpus,
+            launched_at=self.sim.now,
+        )
+        self._vms[vm.name] = vm
+        delay = self.prep_period if prep_period is None else float(prep_period)
+
+        def _ready() -> None:
+            self._pending.pop(vm.name, None)
+            vm.transition(VmState.RUNNING, self.sim.now)
+            on_ready(vm)
+
+        self._pending[vm.name] = self.sim.schedule_after(delay, _ready)
+        return vm
+
+    def mark_draining(self, vm: VM) -> None:
+        """Record that the VM's server stopped taking new requests."""
+        vm.transition(VmState.DRAINING, self.sim.now)
+
+    def resize(
+        self,
+        vm: VM,
+        vcpus: float,
+        on_resized: Callable[[VM], None],
+        resize_delay: float = 2.0,
+    ) -> None:
+        """Change a running VM's vCPU count (vertical scaling).
+
+        Modelled after ESXi CPU hot-add: the VM keeps serving and the
+        new capacity takes effect after a short reconfiguration delay.
+        """
+        if vcpus <= 0:
+            raise CloudError(f"vcpus must be > 0, got {vcpus!r}")
+        if vm.state is not VmState.RUNNING:
+            raise CloudError(
+                f"VM {vm.name!r} must be RUNNING to resize, is {vm.state.value}"
+            )
+
+        def _apply() -> None:
+            vm.vcpus = vcpus
+            on_resized(vm)
+
+        self.sim.schedule_after(max(0.0, resize_delay), _apply)
+
+    def stop(self, vm: VM) -> None:
+        """Stop a VM (aborts provisioning if still pending)."""
+        pending = self._pending.pop(vm.name, None)
+        if pending is not None:
+            pending.cancel()
+        vm.transition(VmState.STOPPED, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def vm(self, name: str) -> VM:
+        """Look up a VM by name."""
+        try:
+            return self._vms[name]
+        except KeyError:
+            raise CloudError(f"unknown VM {name!r}") from None
+
+    def vms(self, tier: str | None = None) -> list[VM]:
+        """All VMs ever launched, optionally filtered by tier."""
+        return [v for v in self._vms.values() if tier is None or v.tier == tier]
+
+    def billable_count(self, tier: str | None = None) -> int:
+        """Current "total number of VMs" (provisioning + running + draining)."""
+        return sum(1 for v in self.vms(tier) if v.is_billable)
+
+    def provisioning_count(self, tier: str) -> int:
+        """VMs of a tier still in their preparation period."""
+        return sum(
+            1 for v in self.vms(tier) if v.state is VmState.PROVISIONING
+        )

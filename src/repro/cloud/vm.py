@@ -1,0 +1,64 @@
+"""Virtual machine model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CloudError
+
+__all__ = ["VM", "VmState"]
+
+
+class VmState(enum.Enum):
+    """VM lifecycle states."""
+
+    PROVISIONING = "provisioning"
+    RUNNING = "running"
+    DRAINING = "draining"
+    STOPPED = "stopped"
+
+
+_TRANSITIONS: dict[VmState, frozenset[VmState]] = {
+    VmState.PROVISIONING: frozenset({VmState.RUNNING, VmState.STOPPED}),
+    VmState.RUNNING: frozenset({VmState.DRAINING, VmState.STOPPED}),
+    VmState.DRAINING: frozenset({VmState.STOPPED}),
+    VmState.STOPPED: frozenset(),
+}
+
+
+@dataclass(slots=True)
+class VM:
+    """One virtual machine hosting one component server.
+
+    Matches the paper's VM template: 1 vCPU / CPU-limit per VM by
+    default, one server per VM, one VM per physical node.
+    """
+
+    name: str
+    tier: str
+    vcpus: float = 1.0
+    launched_at: float = 0.0
+    state: VmState = VmState.PROVISIONING
+    ready_at: float | None = None
+    stopped_at: float | None = None
+    # The component server running in this VM (set when RUNNING).
+    server_name: str | None = field(default=None)
+
+    def transition(self, new_state: VmState, now: float) -> None:
+        """Move through the lifecycle, enforcing legal transitions."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise CloudError(
+                f"VM {self.name!r}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+        if new_state is VmState.RUNNING:
+            self.ready_at = now
+        elif new_state is VmState.STOPPED:
+            self.stopped_at = now
+
+    @property
+    def is_billable(self) -> bool:
+        """Counts toward the "total number of VMs" axis in the figures."""
+        return self.state is not VmState.STOPPED

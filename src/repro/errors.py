@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ScheduleError",
+    "CapacityModelError",
+    "PoolError",
+    "TraceError",
+    "MonitoringError",
+    "EstimationError",
+    "ScalingError",
+    "CloudError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class ScheduleError(SimulationError):
+    """An event was scheduled in the past or on a finished simulator."""
+
+
+class CapacityModelError(ReproError):
+    """A server capacity model received invalid parameters or inputs."""
+
+
+class PoolError(ReproError):
+    """A thread/connection pool operation was invalid (e.g. double release)."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed (non-monotonic time, negative load)."""
+
+
+class MonitoringError(ReproError):
+    """Monitoring/aggregation received inconsistent request records."""
+
+
+class EstimationError(ReproError):
+    """The SCT estimator could not produce an estimate from the given data."""
+
+
+class ScalingError(ReproError):
+    """A scaling controller or actuator was driven into an invalid state."""
+
+
+class CloudError(ReproError):
+    """The simulated cloud substrate rejected an operation."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was misconfigured or produced no data."""

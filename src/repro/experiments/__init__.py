@@ -1,0 +1,24 @@
+"""Experiment harness: calibration, scenarios, runner, figures, reports."""
+
+from repro.experiments.calibration import (
+    Calibration,
+    app_capacity,
+    db_capacity_cpu,
+    db_capacity_io,
+    default_calibration,
+    web_capacity,
+)
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.scenarios import ScenarioConfig
+
+__all__ = [
+    "Calibration",
+    "app_capacity",
+    "db_capacity_cpu",
+    "db_capacity_io",
+    "default_calibration",
+    "web_capacity",
+    "ExperimentResult",
+    "run_experiment",
+    "ScenarioConfig",
+]

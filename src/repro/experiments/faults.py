@@ -1,0 +1,82 @@
+"""Fault injection: degraded ("straggler") servers.
+
+Beyond the paper's evaluation, a production concern for any
+concurrency-adapting controller is a *slow node*: one replica whose
+effective capacity silently drops (noisy neighbour, failing disk,
+thermal throttling). This module injects such faults into a running
+simulation by swapping a server's capacity model, and restores it
+later. Because the SCT model estimates each server independently, a
+degraded replica's rational concurrency range shrinks with its
+capacity — visible in the per-server estimates — while HAProxy's
+``leastconn`` policy naturally sheds load away from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.ntier.server import Server
+from repro.sim.engine import Simulator
+
+__all__ = ["SlowNodeFault", "inject_slow_node"]
+
+
+@dataclass
+class SlowNodeFault:
+    """Handle for one injected slow-node episode."""
+
+    server: Server
+    at: float
+    duration: float
+    slowdown: float
+    active: bool = False
+    ended: bool = False
+    _original_capacity: object = field(default=None, repr=False)
+
+    @property
+    def window(self) -> tuple[float, float]:
+        """(start, end) of the degradation episode."""
+        return (self.at, self.at + self.duration)
+
+
+def inject_slow_node(
+    sim: Simulator,
+    server: Server,
+    at: float,
+    slowdown: float = 4.0,
+    duration: float = 60.0,
+) -> SlowNodeFault:
+    """Schedule a capacity degradation on ``server``.
+
+    From ``at`` to ``at + duration`` the server's critical-resource
+    units are divided by ``slowdown`` (a 4x slowdown turns a 1-core
+    server into a quarter-core one); afterwards the original capacity
+    model is restored. In-flight requests are re-rated exactly at both
+    transitions (see :meth:`~repro.ntier.server.Server.set_capacity`).
+    """
+    if slowdown <= 1.0:
+        raise ExperimentError(f"slowdown must be > 1, got {slowdown!r}")
+    if duration <= 0.0:
+        raise ExperimentError(f"duration must be > 0, got {duration!r}")
+    fault = SlowNodeFault(
+        server=server, at=at, duration=duration, slowdown=slowdown
+    )
+
+    def _degrade() -> None:
+        fault._original_capacity = server.capacity
+        critical = server.capacity.critical_resource.name
+        units = server.capacity.resource(critical).units
+        server.set_capacity(
+            server.capacity.scaled_cores(critical, units / slowdown)
+        )
+        fault.active = True
+
+    def _restore() -> None:
+        server.set_capacity(fault._original_capacity)
+        fault.active = False
+        fault.ended = True
+
+    sim.schedule(at, _degrade)
+    sim.schedule(at + duration, _restore)
+    return fault

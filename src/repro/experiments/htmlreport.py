@@ -1,0 +1,234 @@
+"""Self-contained HTML reports with inline SVG charts.
+
+The execution environment has no plotting stack, so this module renders
+result summaries (see :mod:`repro.experiments.persistence`) into a
+single static HTML file: a tail-latency comparison table plus SVG line
+charts for the response-time timeline, throughput, and VM counts of
+each framework. No JavaScript, no external assets — the file can be
+archived next to the CSVs and opened anywhere.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+import os
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["render_html_report", "write_html_report", "svg_line_chart"]
+
+# A small colour-blind-safe categorical palette.
+_COLORS = ("#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9")
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Human-friendly axis ticks covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(1, n)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 0.5:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def svg_line_chart(
+    series: Sequence[tuple[str, Sequence[float], Sequence[float]]],
+    title: str,
+    x_label: str,
+    y_label: str,
+    width: int = 640,
+    height: int = 280,
+) -> str:
+    """Render overlaid line series as an inline SVG string.
+
+    ``series`` is ``[(label, xs, ys), ...]``; NaN/None y-values break
+    the polyline (gaps stay gaps).
+    """
+    if not series:
+        raise ExperimentError("svg_line_chart needs at least one series")
+    margin_l, margin_r, margin_t, margin_b = 64, 140, 36, 44
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    def clean(values):
+        return [
+            v for v in values
+            if v is not None and not (isinstance(v, float) and math.isnan(v))
+        ]
+
+    all_x = [x for _, xs, _ in series for x in clean(xs)]
+    all_y = [y for _, _, ys in series for y in clean(ys)]
+    if not all_x or not all_y:
+        raise ExperimentError("svg_line_chart: no finite data points")
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(0.0, min(all_y)), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    def sx(x: float) -> float:
+        return margin_l + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return margin_t + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<text x="{margin_l}" y="18" font-size="13" font-weight="bold">'
+        f"{html.escape(title)}</text>",
+        f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#888" />',
+    ]
+    for tick in _nice_ticks(y_lo, y_hi):
+        if tick < y_lo - 1e-12 or tick > y_hi + 1e-12:
+            continue
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{margin_l + plot_w}" '
+            f'y2="{y:.1f}" stroke="#ddd" />'
+        )
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + 4:.1f}" text-anchor="end">'
+            f"{tick:g}</text>"
+        )
+    for tick in _nice_ticks(x_lo, x_hi):
+        if tick < x_lo - 1e-12 or tick > x_hi + 1e-12:
+            continue
+        x = sx(tick)
+        parts.append(
+            f'<text x="{x:.1f}" y="{margin_t + plot_h + 16}" '
+            f'text-anchor="middle">{tick:g}</text>'
+        )
+    parts.append(
+        f'<text x="{margin_l + plot_w / 2:.0f}" y="{height - 8}" '
+        f'text-anchor="middle">{html.escape(x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="16" y="{margin_t + plot_h / 2:.0f}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {margin_t + plot_h / 2:.0f})">'
+        f"{html.escape(y_label)}</text>"
+    )
+
+    for i, (label, xs, ys) in enumerate(series):
+        color = _COLORS[i % len(_COLORS)]
+        segments: list[list[str]] = [[]]
+        for x, y in zip(xs, ys):
+            bad = y is None or (isinstance(y, float) and math.isnan(y))
+            if bad:
+                if segments[-1]:
+                    segments.append([])
+                continue
+            segments[-1].append(f"{sx(x):.1f},{sy(y):.1f}")
+        for seg in segments:
+            if len(seg) >= 2:
+                parts.append(
+                    f'<polyline points="{" ".join(seg)}" fill="none" '
+                    f'stroke="{color}" stroke-width="1.6" />'
+                )
+        ly = margin_t + 14 + i * 16
+        lx = margin_l + plot_w + 10
+        parts.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 18}" y2="{ly - 4}" '
+            f'stroke="{color}" stroke-width="2" />'
+        )
+        parts.append(
+            f'<text x="{lx + 24}" y="{ly}">{html.escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_html_report(summaries: Sequence[dict], title: str = "repro report") -> str:
+    """Render result summaries into one self-contained HTML page."""
+    if not summaries:
+        raise ExperimentError("render_html_report needs at least one summary")
+    rows = []
+    for s in summaries:
+        tail = s["tail_ms"]
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(s['framework'])}</td>"
+            f"<td>{html.escape(s['scenario']['trace'])}</td>"
+            f"<td>{s['requests']['completed']}</td>"
+            f"<td>{tail['p50']:.1f}</td><td>{tail['p95']:.1f}</td>"
+            f"<td>{tail['p99']:.1f}</td><td>{tail['max']:.1f}</td>"
+            "</tr>"
+        )
+    table = (
+        "<table><thead><tr><th>framework</th><th>trace</th>"
+        "<th>requests</th><th>p50 ms</th><th>p95 ms</th><th>p99 ms</th>"
+        "<th>max ms</th></tr></thead><tbody>"
+        + "".join(rows)
+        + "</tbody></table>"
+    )
+
+    def timeline_series(metric: str):
+        out = []
+        for s in summaries:
+            xs = [b["t"] for b in s["timeline"]]
+            ys = [b[metric] for b in s["timeline"]]
+            out.append((s["framework"], xs, ys))
+        return out
+
+    charts = [
+        svg_line_chart(
+            timeline_series("p95_rt_ms"),
+            "p95 response time over the run", "time [s]", "p95 RT [ms]",
+        ),
+        svg_line_chart(
+            timeline_series("throughput_rps"),
+            "throughput over the run", "time [s]", "requests/s",
+        ),
+        svg_line_chart(
+            [(s["framework"], s["vms"]["t"], [float(c) for c in s["vms"]["count"]])
+             for s in summaries],
+            "total VMs over the run", "time [s]", "VMs",
+        ),
+    ]
+    scenario = summaries[0]["scenario"]
+    meta = (
+        f"trace <b>{html.escape(str(scenario['trace']))}</b>, "
+        f"duration {scenario['duration_s']:.0f}s, "
+        f"load scale 1/{scenario['load_scale']:.0f}, "
+        f"seed {scenario['seed']}"
+    )
+    style = (
+        "body{font-family:sans-serif;max-width:860px;margin:2em auto;"
+        "color:#222}table{border-collapse:collapse;margin:1em 0}"
+        "td,th{border:1px solid #bbb;padding:4px 10px;text-align:right}"
+        "th{background:#f0f0f0}td:first-child,th:first-child"
+        "{text-align:left}svg{margin:0.8em 0;display:block}"
+    )
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'/>"
+        f"<title>{html.escape(title)}</title><style>{style}</style></head>"
+        f"<body><h1>{html.escape(title)}</h1><p>{meta}</p>{table}"
+        + "".join(charts)
+        + "</body></html>"
+    )
+
+
+def write_html_report(
+    summaries: Sequence[dict], path: str, title: str = "repro report"
+) -> str:
+    """Write the report; returns the path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(render_html_report(summaries, title))
+    return path

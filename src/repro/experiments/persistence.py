@@ -1,0 +1,121 @@
+"""Persist experiment outcomes as JSON summaries.
+
+A full :class:`~repro.experiments.runner.ExperimentResult` holds live
+simulator objects; for archiving, cross-run comparison and external
+plotting we serialise a self-contained summary: scenario key fields,
+tail latencies, the binned timeline, VM counts, scaling actions and the
+SCT estimate history.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["result_summary", "save_result", "load_summary"]
+
+
+def _clean(value: float) -> float | None:
+    """JSON has no NaN; map it to null."""
+    return None if isinstance(value, float) and math.isnan(value) else value
+
+
+def result_summary(result: ExperimentResult, bin_width: float | None = None) -> dict:
+    """Build the JSON-serialisable summary of one run."""
+    tail = result.tail()
+    config = result.config
+    summary: dict[str, Any] = {
+        "framework": result.framework,
+        "scenario": {
+            "name": config.name,
+            "trace": config.trace_name,
+            "seed": config.seed,
+            "duration_s": config.duration,
+            "load_scale": config.load_scale,
+            "max_users": config.max_users,
+            "workload_mode": config.workload_mode,
+            "topology": list(config.topology),
+            "soft": [
+                config.soft.web_threads,
+                config.soft.app_threads,
+                config.soft.db_connections,
+            ],
+        },
+        "requests": {"generated": result.generated, "completed": result.completed},
+        "vm_seconds": result.vm_seconds(),
+        "tail_ms": {
+            "mean": tail.mean * 1000,
+            "p50": tail.p50 * 1000,
+            "p95": tail.p95 * 1000,
+            "p99": tail.p99 * 1000,
+            "max": tail.max * 1000,
+        },
+        "timeline": [
+            {
+                "t": b.t_start,
+                "throughput_rps": _clean(b.throughput),
+                "mean_rt_ms": _clean(b.mean_rt * 1000),
+                "p95_rt_ms": _clean(b.p95_rt * 1000),
+            }
+            for b in result.timeline(bin_width)
+        ],
+        "vms": {
+            "t": [float(t) for t in result.vm_times],
+            "count": [int(c) for c in result.vm_counts],
+        },
+        "actions": [
+            {
+                "t": a.time,
+                "kind": a.kind,
+                "tier": a.tier,
+                "value": a.value,
+                "detail": a.detail,
+            }
+            for a in result.actions
+        ],
+        "estimates": {
+            tier: [
+                {
+                    "t": e.time,
+                    "optimal": e.optimal,
+                    "q_upper": e.q_upper,
+                    "actionable": e.actionable,
+                }
+                for e in history
+            ]
+            for tier, history in result.estimates.items()
+        },
+    }
+    return summary
+
+
+def save_result(
+    result: ExperimentResult, path: str, bin_width: float | None = None
+) -> str:
+    """Write the summary JSON; returns the path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(result_summary(result, bin_width), fh, indent=1)
+    return path
+
+
+def load_summary(path: str) -> dict:
+    """Load a summary written by :func:`save_result`."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExperimentError(f"cannot load result summary {path!r}: {exc}") from exc
+    for key in ("framework", "scenario", "tail_ms"):
+        if key not in data:
+            raise ExperimentError(
+                f"{path!r} is not a result summary (missing {key!r})"
+            )
+    return data

@@ -1,0 +1,100 @@
+"""Plain-text rendering and CSV export for figures and tables.
+
+The execution environment has no plotting stack, so every figure is
+emitted as (a) aligned text tables / ASCII charts on stdout and (b) CSV
+files under ``results/`` for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import os
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "ascii_chart", "write_csv", "ensure_results_dir"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 72,
+    height: int = 14,
+    label: str = "",
+) -> str:
+    """A minimal scatter/line chart in ASCII.
+
+    NaNs are skipped. The y-axis is annotated with min/max; the x-axis
+    with the first and last x values.
+    """
+    pts = [(x, y) for x, y in zip(xs, ys) if not (math.isnan(x) or math.isnan(y))]
+    if len(pts) < 2:
+        return f"{label}: <not enough data to chart>"
+    xlo, xhi = min(p[0] for p in pts), max(p[0] for p in pts)
+    ylo, yhi = min(p[1] for p in pts), max(p[1] for p in pts)
+    if xhi == xlo:
+        xhi = xlo + 1.0
+    if yhi == ylo:
+        yhi = ylo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in pts:
+        col = int((x - xlo) / (xhi - xlo) * (width - 1))
+        row = int((y - ylo) / (yhi - ylo) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"{yhi:10.1f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{ylo:10.1f} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{xlo:<10.1f}" + " " * max(0, width - 20) + f"{xhi:>10.1f}")
+    return "\n".join(lines)
+
+
+def ensure_results_dir(path: str = "results") -> str:
+    """Create (if needed) and return the results directory."""
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_csv(
+    path: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Write rows to a CSV file, creating parent directories."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path

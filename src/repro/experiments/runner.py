@@ -1,0 +1,279 @@
+"""Wire a full evaluation scenario and run it.
+
+``run_experiment("conscale", config)`` builds the whole stack — cloud,
+application, workload, monitoring, controller — runs the trace, and
+returns an :class:`ExperimentResult` with latencies already converted
+back to base-scale seconds (see :class:`~repro.experiments.scenarios.
+ScenarioConfig` for the load-scaling contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments.calibration import app_capacity, db_capacity_cpu
+from repro.experiments.scenarios import ScenarioConfig
+from repro.cloud.hypervisor import Hypervisor
+from repro.monitoring.percentiles import TailSummary, tail_summary
+from repro.monitoring.records import RequestLog, TimelineBin
+from repro.monitoring.warehouse import MetricWarehouse
+from repro.ntier.app import APP, DB, WEB, NTierApplication
+from repro.rng import RngRegistry
+from repro.scaling.actions import ActionLog
+from repro.scaling.actuator import Actuator
+from repro.scaling.conscale import ConScaleController
+from repro.scaling.controller import BaseController
+from repro.scaling.dcm import DCMController, DcmTrainedProfile, offline_profile
+from repro.scaling.ec2 import EC2AutoScaling
+from repro.scaling.estimator import OptimalConcurrencyEstimator, TierEstimate
+from repro.scaling.factory import ServerFactory
+from repro.scaling.policy import TierPolicyConfig
+from repro.scaling.predictive import PredictiveAutoScaling
+from repro.sct.model import SCTModel
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.workload.generator import OpenLoopGenerator, RequestFactory
+from repro.workload.mixes import WorkloadMix, browse_only_mix, read_write_mix
+from repro.workload.shapes import make_trace
+from repro.workload.trace import Trace
+
+__all__ = ["ExperimentResult", "run_experiment", "FRAMEWORKS"]
+
+FRAMEWORKS = ("ec2", "dcm", "conscale", "predictive")
+
+# Grace period after the trace ends for in-flight requests to drain.
+_DRAIN_GRACE = 20.0
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one scenario run (latencies in base-scale seconds)."""
+
+    framework: str
+    config: ScenarioConfig
+    latencies: np.ndarray
+    completion_times: np.ndarray
+    generated: int
+    completed: int
+    actions: ActionLog
+    vm_times: np.ndarray
+    vm_counts: np.ndarray
+    vm_counts_by_tier: dict[str, np.ndarray]
+    cpu_series: dict[str, tuple[np.ndarray, np.ndarray]]
+    estimates: dict[str, list[TierEstimate]] = field(default_factory=dict)
+    # Live handles for figure code that needs fine-grained data.
+    warehouse: MetricWarehouse | None = field(default=None, repr=False)
+    request_log: RequestLog | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    def vm_seconds(self) -> float:
+        """Total billable VM-seconds over the run (the cost metric).
+
+        Integrates the billable VM count over the sampled timeline.
+        Frameworks that thrash — EC2 keeps buying VMs while the real
+        problem is the concurrency setting — show up here as paying
+        more for worse latency.
+        """
+        if self.vm_times.size < 2:
+            return 0.0
+        dt = np.diff(self.vm_times)
+        return float(np.sum(self.vm_counts[:-1] * dt))
+
+    def tail(self, after: float | None = None) -> TailSummary:
+        """Tail-latency summary, optionally skipping a warm-up period."""
+        cutoff = self.config.warmup if after is None else after
+        lat = self.latencies[self.completion_times >= cutoff]
+        if lat.size == 0:
+            raise ExperimentError("no completed requests after the warm-up cutoff")
+        return tail_summary(lat)
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile over the post-warm-up window (seconds)."""
+        return getattr(self.tail(), f"p{int(q)}") if q in (50, 95, 99) else float(
+            np.percentile(
+                self.latencies[self.completion_times >= self.config.warmup], q
+            )
+        )
+
+    def timeline(self, bin_width: float | None = None) -> list[TimelineBin]:
+        """Latency/throughput timeline with base-scale latencies."""
+        if self.request_log is None:
+            raise ExperimentError("request log was not retained for this run")
+        width = bin_width if bin_width is not None else self.config.timeline_bin
+        scale = self.config.rt_scale
+        bins = self.request_log.timeline(width, self.config.duration + _DRAIN_GRACE)
+        return [
+            TimelineBin(
+                t_start=b.t_start,
+                t_end=b.t_end,
+                completions=b.completions,
+                throughput=b.throughput * scale,  # back to base-scale req/s
+                mean_rt=b.mean_rt / scale,
+                p95_rt=b.p95_rt / scale,
+                max_rt=b.max_rt / scale,
+            )
+            for b in bins
+        ]
+
+
+def _build_mix(config: ScenarioConfig) -> WorkloadMix:
+    base = config.calibration.base_demands
+    if config.workload_mode == "browse":
+        return browse_only_mix(base)
+    return read_write_mix(base)
+
+
+def _default_dcm_profile(config: ScenarioConfig) -> DcmTrainedProfile:
+    """Train DCM under *default* conditions (original dataset, browse
+    workload, 1-core VMs) regardless of the runtime scenario — that gap
+    is precisely what Fig. 11 exercises."""
+    mix = browse_only_mix(config.calibration.base_demands)
+    d_app = mix.mean_demand("app")
+    d_db = mix.mean_demand("db")
+    # A Tomcat thread is blocked for the whole MySQL call, so the share
+    # of its residence spent blocked is d_db / (d_app + d_db) when the
+    # DB is uncongested (the training condition).
+    app_q = offline_profile(
+        app_capacity(1.0, 1.0), d_app, blocking_share=d_db / (d_app + d_db)
+    )
+    db_q = offline_profile(db_capacity_cpu(1.0), d_db)
+    return DcmTrainedProfile(
+        app_optimal=app_q, db_optimal=db_q, trained_on="default-conditions"
+    )
+
+
+def run_experiment(
+    framework: str,
+    config: ScenarioConfig,
+    dcm_profile: DcmTrainedProfile | None = None,
+    policy_overrides: dict[str, TierPolicyConfig] | None = None,
+) -> ExperimentResult:
+    """Run one scenario under one scaling framework."""
+    if framework not in FRAMEWORKS:
+        raise ConfigurationError(
+            f"framework must be one of {FRAMEWORKS}, got {framework!r}"
+        )
+    rng = RngRegistry(config.seed)
+    sim = Simulator()
+    cal = config.calibration
+
+    # --- application & cloud -------------------------------------------
+    app = NTierApplication(sim, config.soft, balancing=config.balancing)
+    factory = ServerFactory(sim)
+    for tier in (WEB, APP, DB):
+        factory.set_template(tier, cal.capacity(tier), config.soft.for_tier(tier))
+    hypervisor = Hypervisor(sim, prep_period=config.prep_period)
+    warehouse = MetricWarehouse(
+        sim,
+        tick=1.0,
+        fine_interval=config.effective_fine_interval(),
+        history_seconds=config.duration + _DRAIN_GRACE + 60.0,
+    )
+    actions = ActionLog()
+    actuator = Actuator(sim, app, hypervisor, factory, warehouse, actions)
+    n_web, n_app, n_db = config.topology
+    actuator.bootstrap(WEB, n_web)
+    actuator.bootstrap(APP, n_app)
+    actuator.bootstrap(DB, n_db)
+
+    # --- workload -------------------------------------------------------
+    mix = _build_mix(config)
+    if config.trace_name.endswith(".csv"):
+        # Replay a user-provided trace file (t_s,users columns); the
+        # population is divided by the load scale like the built-ins.
+        trace = Trace.from_csv(config.trace_name).scaled(
+            user_factor=1.0 / config.load_scale
+        )
+        if trace.duration > config.duration:
+            trace = trace.truncated(config.duration)
+    else:
+        trace = make_trace(config.trace_name, config.scaled_users, config.duration)
+    req_factory = RequestFactory(
+        mix,
+        rng.stream("demand"),
+        dataset_scale=cal.dataset_scale,
+        demand_scale=config.demand_scale,
+    )
+    generator = OpenLoopGenerator(
+        sim, app, trace, req_factory, rng.stream("arrivals"), cal.think_time
+    )
+
+    # --- controller -----------------------------------------------------
+    tier_configs = policy_overrides or {APP: config.policy, DB: config.policy}
+    controller: BaseController
+    estimator: OptimalConcurrencyEstimator | None = None
+    if framework == "ec2":
+        controller = EC2AutoScaling(sim, warehouse, actuator, tier_configs)
+    elif framework == "predictive":
+        controller = PredictiveAutoScaling(sim, warehouse, actuator, tier_configs)
+    elif framework == "dcm":
+        profile = dcm_profile or _default_dcm_profile(config)
+        controller = DCMController(sim, warehouse, actuator, profile, tier_configs)
+    else:
+        estimator = OptimalConcurrencyEstimator(
+            warehouse,
+            SCTModel(tolerance=config.sct_tolerance),
+            window=config.sct_window,
+            drift_check=config.sct_drift_check,
+        )
+        controller = ConScaleController(
+            sim, warehouse, actuator, estimator, tier_configs
+        )
+
+    # --- result sampling --------------------------------------------------
+    log = RequestLog()
+    app.on_complete(log.record)
+    vm_times: list[float] = []
+    vm_counts: list[int] = []
+    vm_by_tier: dict[str, list[int]] = {APP: [], DB: []}
+
+    def _sample_vms(now: float) -> None:
+        vm_times.append(now)
+        vm_counts.append(hypervisor.billable_count())
+        for tier in (APP, DB):
+            vm_by_tier[tier].append(hypervisor.billable_count(tier))
+
+    vm_sampler = PeriodicProcess(sim, 1.0, _sample_vms)
+
+    # --- run --------------------------------------------------------------
+    generator.start()
+    sim.run(until=config.duration)
+    generator.stop()
+    controller.stop()
+    sim.run(until=config.duration + _DRAIN_GRACE)
+    vm_sampler.stop()
+
+    # --- package ------------------------------------------------------------
+    cpu_series: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for tier in (APP, DB):
+        samples = warehouse.samples(window=config.duration + _DRAIN_GRACE + 60.0, tier=tier)
+        by_time: dict[float, list[float]] = {}
+        for s in samples:
+            by_time.setdefault(s.t_end, []).append(s.cpu)
+        ts = np.array(sorted(by_time))
+        cs = np.array([np.mean(by_time[t]) for t in ts])
+        cpu_series[tier] = (ts, cs)
+
+    estimates: dict[str, list[TierEstimate]] = {}
+    if estimator is not None:
+        estimates = {APP: estimator.history(APP), DB: estimator.history(DB)}
+
+    return ExperimentResult(
+        framework=framework,
+        config=config,
+        latencies=log.response_times / config.rt_scale,
+        completion_times=log.completion_times,
+        generated=generator.generated,
+        completed=len(log),
+        actions=actions,
+        vm_times=np.asarray(vm_times),
+        vm_counts=np.asarray(vm_counts),
+        vm_counts_by_tier={t: np.asarray(v) for t, v in vm_by_tier.items()},
+        cpu_series=cpu_series,
+        estimates=estimates,
+        warehouse=warehouse,
+        request_log=log,
+    )

@@ -1,0 +1,139 @@
+"""End-to-end request logs and timeline binning.
+
+The evaluation figures (Fig. 1, 10, 11) plot system response time and
+throughput over the experiment timeline, and Table I reports tail
+percentiles; :class:`RequestLog` captures completed requests compactly
+and provides both views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MonitoringError
+from repro.ntier.request import Request
+
+__all__ = ["RequestLog", "TimelineBin"]
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineBin:
+    """Aggregated system metrics over one timeline bin."""
+
+    t_start: float
+    t_end: float
+    completions: int
+    throughput: float
+    mean_rt: float
+    p95_rt: float
+    max_rt: float
+
+
+class RequestLog:
+    """Append-only log of completed requests.
+
+    Register :meth:`record` as an application completion listener; the
+    arrays grow in amortised O(1) and convert to numpy on demand.
+    """
+
+    def __init__(self) -> None:
+        self._arrivals: list[float] = []
+        self._completions: list[float] = []
+        self._rts: list[float] = []
+        self._interactions: list[str] = []
+
+    # ------------------------------------------------------------------
+    def record(self, request: Request) -> None:
+        """Store one completed request."""
+        if request.completion is None:
+            raise MonitoringError(
+                f"request {request.req_id} recorded before completion"
+            )
+        self._arrivals.append(request.arrival)
+        self._completions.append(request.completion)
+        self._rts.append(request.completion - request.arrival)
+        self._interactions.append(request.interaction)
+
+    def __len__(self) -> int:
+        return len(self._rts)
+
+    @property
+    def response_times(self) -> np.ndarray:
+        """Latencies of all completed requests (seconds)."""
+        return np.asarray(self._rts, dtype=float)
+
+    @property
+    def completion_times(self) -> np.ndarray:
+        """Completion timestamps (seconds)."""
+        return np.asarray(self._completions, dtype=float)
+
+    @property
+    def arrival_times(self) -> np.ndarray:
+        """Arrival timestamps (seconds)."""
+        return np.asarray(self._arrivals, dtype=float)
+
+    # ------------------------------------------------------------------
+    def percentile(self, q: float, after: float = 0.0) -> float:
+        """Latency percentile ``q`` (0-100) over requests completing
+        after time ``after`` (to skip warm-up)."""
+        rts = self.response_times
+        if after > 0.0:
+            rts = rts[self.completion_times >= after]
+        if rts.size == 0:
+            raise MonitoringError("no completed requests in the requested window")
+        return float(np.percentile(rts, q))
+
+    def by_interaction(self, after: float = 0.0) -> dict[str, np.ndarray]:
+        """Latencies grouped by RUBBoS interaction type.
+
+        Lets the analysis pinpoint which servlets dominate the tail
+        (e.g. the Search* interactions under DB congestion). ``after``
+        skips a warm-up window.
+        """
+        comp = self.completion_times
+        rts = self.response_times
+        out: dict[str, list[float]] = {}
+        for i, name in enumerate(self._interactions):
+            if comp[i] >= after:
+                out.setdefault(name, []).append(float(rts[i]))
+        return {name: np.asarray(vals) for name, vals in out.items()}
+
+    def timeline(self, bin_width: float, duration: float | None = None) -> list[TimelineBin]:
+        """Bin completions into fixed-width timeline bins.
+
+        Bins with zero completions report zero throughput and NaN
+        latencies, so plots show gaps rather than interpolated values.
+        """
+        if bin_width <= 0:
+            raise MonitoringError(f"bin_width must be > 0, got {bin_width!r}")
+        comp = self.completion_times
+        rts = self.response_times
+        if duration is None:
+            duration = float(comp.max()) if comp.size else 0.0
+        n_bins = max(1, int(np.ceil(duration / bin_width)))
+        idx = np.minimum((comp / bin_width).astype(int), n_bins - 1)
+        bins: list[TimelineBin] = []
+        for b in range(n_bins):
+            mask = idx == b
+            n = int(mask.sum())
+            if n > 0:
+                r = rts[mask]
+                mean_rt = float(r.mean())
+                p95 = float(np.percentile(r, 95))
+                mx = float(r.max())
+            else:
+                mean_rt = p95 = mx = float("nan")
+            bins.append(
+                TimelineBin(
+                    t_start=b * bin_width,
+                    t_end=(b + 1) * bin_width,
+                    completions=n,
+                    throughput=n / bin_width,
+                    mean_rt=mean_rt,
+                    p95_rt=p95,
+                    max_rt=mx,
+                )
+            )
+        return bins

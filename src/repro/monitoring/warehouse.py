@@ -1,0 +1,205 @@
+"""The ConScale Metric Warehouse.
+
+Mirrors Fig. 8 of the paper: monitoring agents in every VM push
+application- and system-level metrics every second (step 1); the
+Decision Controller reads tier-level CPU utilisation from here, and the
+Optimal Concurrency Estimator asynchronously pulls the fine-grained
+(50 ms) concurrency/throughput tuples that feed the SCT model.
+
+The warehouse owns one :class:`~repro.monitoring.interval.IntervalMonitor`
+per registered server, so servers added by scale-out are monitored from
+the moment they join.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import MonitoringError
+from repro.monitoring.interval import IntervalMonitor, IntervalSample
+from repro.ntier.server import Server
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+__all__ = ["VmSample", "MetricWarehouse"]
+
+
+@dataclass(frozen=True, slots=True)
+class VmSample:
+    """One VM's system-level metrics over one warehouse tick."""
+
+    t_end: float
+    server: str
+    tier: str
+    cpu: float
+    concurrency: float
+    throughput: float
+
+
+class _VmState:
+    """Per-server differencing state for the 1 s system metrics."""
+
+    __slots__ = ("server", "fine", "prev_util", "prev_conc", "prev_comp", "prev_t")
+
+    def __init__(self, server: Server, fine: IntervalMonitor, now: float) -> None:
+        self.server = server
+        self.fine = fine
+        self.prev_util = dict(server.util_integral)
+        self.prev_conc = server.concurrency_integral
+        self.prev_comp = server.completions
+        self.prev_t = now
+
+
+class MetricWarehouse:
+    """Collects per-VM metrics at 1 s and per-server tuples at 50 ms."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tick: float = 1.0,
+        fine_interval: float = 0.050,
+        history_seconds: float = 900.0,
+        fine_history: int | None = None,
+    ) -> None:
+        self.sim = sim
+        self.tick = float(tick)
+        self.fine_interval = float(fine_interval)
+        self._states: dict[str, _VmState] = {}
+        self._history: deque[VmSample] = deque()
+        self._history_seconds = float(history_seconds)
+        self._fine_history = fine_history
+        self._process = PeriodicProcess(sim, self.tick, self._collect)
+
+    # ------------------------------------------------------------------
+    # registration (called as VMs come and go)
+    # ------------------------------------------------------------------
+    def register_server(self, server: Server) -> None:
+        """Install the monitoring agent on a (new) server."""
+        if server.name in self._states:
+            raise MonitoringError(f"server {server.name!r} is already monitored")
+        fine = IntervalMonitor(
+            self.sim, server, self.fine_interval, history=self._fine_history
+        )
+        self._states[server.name] = _VmState(server, fine, self.sim.now)
+
+    def deregister_server(self, name: str) -> None:
+        """Remove a retired server's agent (its history stays queryable)."""
+        state = self._states.pop(name, None)
+        if state is None:
+            raise MonitoringError(f"server {name!r} is not monitored")
+        state.fine.stop()
+
+    @property
+    def monitored_servers(self) -> list[str]:
+        """Names of currently monitored servers."""
+        return sorted(self._states)
+
+    def reset_fine_history(self, name: str) -> None:
+        """Drop one server's fine-grained history.
+
+        Called after a vertical scaling action: the server's capacity
+        curve changed, so scatter collected under the old hardware
+        would poison the SCT estimate (it still describes the old
+        optimum). Future samples accumulate normally.
+        """
+        state = self._states.get(name)
+        if state is None:
+            raise MonitoringError(f"server {name!r} is not monitored")
+        state.fine.samples.clear()
+
+    def trim_fine_history(self, name: str, keep_after: float) -> int:
+        """Drop one server's fine samples older than ``keep_after``.
+
+        Used by the drift detector: when the capacity curve is found to
+        have shifted mid-window, only the post-shift scatter remains
+        valid. Returns the number of samples removed.
+        """
+        state = self._states.get(name)
+        if state is None:
+            raise MonitoringError(f"server {name!r} is not monitored")
+        removed = 0
+        samples = state.fine.samples
+        while samples and samples[0].t_end < keep_after:
+            samples.popleft()
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+    def _collect(self, now: float) -> None:
+        for state in self._states.values():
+            server = state.server
+            server.sync_monitors()
+            dt = now - state.prev_t
+            if dt <= 0:
+                continue
+            cpu_name = server.capacity.resources[0].name
+            cpu = (server.util_integral[cpu_name] - state.prev_util[cpu_name]) / dt
+            conc = (server.concurrency_integral - state.prev_conc) / dt
+            tp = (server.completions - state.prev_comp) / dt
+            self._history.append(
+                VmSample(
+                    t_end=now,
+                    server=server.name,
+                    tier=server.tier,
+                    cpu=cpu,
+                    concurrency=conc,
+                    throughput=tp,
+                )
+            )
+            state.prev_util = dict(server.util_integral)
+            state.prev_conc = server.concurrency_integral
+            state.prev_comp = server.completions
+            state.prev_t = now
+        cutoff = now - self._history_seconds
+        while self._history and self._history[0].t_end < cutoff:
+            self._history.popleft()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def samples(self, window: float, tier: str | None = None) -> list[VmSample]:
+        """VM samples from the last ``window`` seconds, optionally by tier."""
+        cutoff = self.sim.now - window
+        return [
+            s
+            for s in self._history
+            if s.t_end >= cutoff and (tier is None or s.tier == tier)
+        ]
+
+    def tier_cpu(self, tier: str, window: float = 10.0) -> float:
+        """Mean CPU utilisation of a tier over the recent window.
+
+        This is the signal the threshold-based hardware scalers watch
+        ("average CPU utilisation of the Tomcat/MySQL tier"). Returns
+        0.0 if no samples exist yet (e.g. the first seconds of a run).
+        """
+        samples = self.samples(window, tier)
+        if not samples:
+            return 0.0
+        return sum(s.cpu for s in samples) / len(samples)
+
+    def fine_samples(
+        self, server_name: str, window: float
+    ) -> list[IntervalSample]:
+        """Fine-grained (50 ms) tuples of one server over the window.
+
+        This is the asynchronous pull path of the Optimal Concurrency
+        Estimator (step 2 in Fig. 8).
+        """
+        state = self._states.get(server_name)
+        if state is None:
+            raise MonitoringError(f"server {server_name!r} is not monitored")
+        return state.fine.recent(window)
+
+    def fine_samples_for_tier(
+        self, tier: str, window: float
+    ) -> dict[str, list[IntervalSample]]:
+        """Fine-grained tuples of every monitored server in a tier."""
+        return {
+            name: state.fine.recent(window)
+            for name, state in self._states.items()
+            if state.server.tier == tier
+        }

@@ -1,0 +1,244 @@
+"""The 3-tier application: request flow and soft-resource wiring.
+
+The flow reproduces the thread-based synchronous RPC structure of
+RUBBoS (client → Apache → Tomcat → MySQL):
+
+* a request holds its **web-tier thread** for its entire lifetime;
+* it holds its **app-tier thread** across the whole DB call (the thread
+  is *admitted but inactive* while MySQL works, so it still contributes
+  to Tomcat's multithreading overhead);
+* the app server's **DB connection pool** caps how many of its requests
+  may be inside the DB tier at once.
+
+This coupling is the paper's core mechanism: adding a Tomcat VM doubles
+the concurrency cap flowing into MySQL, so hardware-only scaling pushes
+MySQL past its rational concurrency range and throughput collapses
+(Fig. 10) unless the soft resources are re-adapted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.ntier.cache import CACHE, CachePolicy
+from repro.ntier.pools import FifoPool
+from repro.ntier.request import Request
+from repro.ntier.server import Server
+from repro.ntier.tier import Tier
+from repro.sim.engine import Simulator
+
+__all__ = ["NTierApplication", "SoftResourceAllocation", "WEB", "APP", "DB", "CACHE"]
+
+WEB = "web"
+APP = "app"
+DB = "db"
+
+# Fraction of the app-tier demand executed before the DB call; the rest
+# runs after the reply (result rendering).
+_APP_PRE_FRACTION = 0.6
+
+
+@dataclass(slots=True)
+class SoftResourceAllocation:
+    """The paper's ``#Wthreads-#Athreads-#DBconnections`` triple.
+
+    ``db_connections`` is per app server, as in Tomcat's connection
+    pool; the concurrency cap on the whole DB tier is therefore
+    ``db_connections * n_app_servers``.
+    """
+
+    web_threads: int = 1000
+    app_threads: int = 60
+    db_connections: int = 40
+
+    def __post_init__(self) -> None:
+        for field_name in ("web_threads", "app_threads", "db_connections"):
+            value = getattr(self, field_name)
+            if value < 1:
+                raise ConfigurationError(f"{field_name} must be >= 1, got {value!r}")
+
+    def for_tier(self, tier: str) -> int:
+        """Thread limit for servers of ``tier``."""
+        if tier == WEB:
+            return self.web_threads
+        if tier == APP:
+            return self.app_threads
+        if tier in (DB, CACHE):
+            # MySQL's max_connections is effectively unbounded in the
+            # paper's setup (concurrency is capped upstream by the
+            # connection pools); Memcached likewise serves whatever
+            # arrives.
+            return 100_000
+        raise ConfigurationError(f"unknown tier {tier!r}")
+
+
+class NTierApplication:
+    """Wires tiers, pools, and the request flow together."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        soft: SoftResourceAllocation | None = None,
+        balancing: str = "leastconn",
+        cache_policy: CachePolicy | None = None,
+    ) -> None:
+        self.sim = sim
+        self.soft = soft or SoftResourceAllocation()
+        self.tiers: dict[str, Tier] = {
+            WEB: Tier(WEB, balancing),
+            APP: Tier(APP, balancing),
+            DB: Tier(DB, balancing),
+            CACHE: Tier(CACHE, balancing),
+        }
+        # One DB connection pool per app server, keyed by server name.
+        self.conn_pools: dict[str, FifoPool] = {}
+        # Optional Memcached-style tier: active once a cache policy is
+        # set AND at least one cache server is attached.
+        self.cache_policy = cache_policy
+        self._on_complete: list[Callable[[Request], None]] = []
+        self.submitted = 0
+        self.completed = 0
+
+    # ------------------------------------------------------------------
+    # topology management
+    # ------------------------------------------------------------------
+    def attach_server(self, server: Server, db_connections: int | None = None) -> None:
+        """Add a server to its tier; app servers also get a conn pool."""
+        tier = self.tiers.get(server.tier)
+        if tier is None:
+            raise ConfigurationError(f"unknown tier {server.tier!r}")
+        if server.tier == APP:
+            limit = db_connections if db_connections is not None else (
+                self.soft.db_connections
+            )
+            self.conn_pools[server.name] = FifoPool(f"{server.name}.dbconn", limit)
+        tier.add_server(server)
+
+    def detach_conn_pool(self, server_name: str) -> None:
+        """Drop the conn pool of a retired app server."""
+        self.conn_pools.pop(server_name, None)
+
+    def topology(self) -> tuple[int, int, int]:
+        """Live server counts as the paper's #Web/#App/#DB notation."""
+        return (self.tiers[WEB].size, self.tiers[APP].size, self.tiers[DB].size)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests submitted but not yet completed."""
+        return self.submitted - self.completed
+
+    def admission_pressure(self, tier: str) -> tuple[int, int]:
+        """``(queued, capacity)`` at a tier's admission points.
+
+        For the web and app tiers these are the server thread pools; for
+        the DB tier the per-app-server connection pools (which is where
+        requests destined for MySQL actually wait). The scaling policy
+        combines this with CPU utilisation into the hybrid threshold
+        the paper describes: a tier whose soft resources are capped at
+        its optimal concurrency can be overloaded while its CPU hovers
+        just under the utilisation threshold.
+        """
+        if tier == DB:
+            pools = list(self.conn_pools.values())
+            return (sum(p.queued for p in pools), sum(p.limit for p in pools))
+        t = self.tiers.get(tier)
+        if t is None:
+            raise ConfigurationError(f"unknown tier {tier!r}")
+        servers = t.servers
+        return (
+            sum(s.threads.queued for s in servers),
+            sum(s.threads.limit for s in servers),
+        )
+
+    def on_complete(self, listener: Callable[[Request], None]) -> None:
+        """Register a completion listener (monitoring, closed-loop users)."""
+        self._on_complete.append(listener)
+
+    # ------------------------------------------------------------------
+    # request flow (one callback per hop)
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Inject a request; its ``arrival`` must equal the current time."""
+        self.submitted += 1
+        web = self.tiers[WEB].route()
+        request._servers[WEB] = web
+        web.admit(request, self._web_admitted)
+
+    def _web_admitted(self, request: Request) -> None:
+        web = request._servers[WEB]
+        web.work(request, request.demand_at(WEB), self._web_work_done)
+
+    def _web_work_done(self, request: Request) -> None:
+        app = self.tiers[APP].route()
+        request._servers[APP] = app
+        app.admit(request, self._app_admitted)
+
+    def _app_admitted(self, request: Request) -> None:
+        app = request._servers[APP]
+        app.work(
+            request,
+            request.demand_at(APP) * _APP_PRE_FRACTION,
+            self._app_pre_done,
+        )
+
+    @property
+    def cache_active(self) -> bool:
+        """Whether the optional cache tier is serving lookups."""
+        return self.cache_policy is not None and self.tiers[CACHE].size > 0
+
+    def _app_pre_done(self, request: Request) -> None:
+        if self.cache_active and self.cache_policy.is_hit(request.interaction):
+            cache = self.tiers[CACHE].route()
+            request._servers[CACHE] = cache
+            cache.admit(request, self._cache_admitted)
+            return
+        app = request._servers[APP]
+        pool = self.conn_pools[app.name]
+        request._conn_pool = pool
+        pool.acquire(request, self._conn_granted)
+
+    def _cache_admitted(self, request: Request) -> None:
+        cache = request._servers[CACHE]
+        demand = self.cache_policy.lookup_demand(request.demand_at(DB))
+        cache.work(request, demand, self._cache_done)
+
+    def _cache_done(self, request: Request) -> None:
+        request._servers[CACHE].release(request)
+        app = request._servers[APP]
+        app.work(
+            request,
+            request.demand_at(APP) * (1.0 - _APP_PRE_FRACTION),
+            self._app_post_done,
+        )
+
+    def _conn_granted(self, request: Request) -> None:
+        db = self.tiers[DB].route()
+        request._servers[DB] = db
+        db.admit(request, self._db_admitted)
+
+    def _db_admitted(self, request: Request) -> None:
+        db = request._servers[DB]
+        db.work(request, request.demand_at(DB), self._db_done)
+
+    def _db_done(self, request: Request) -> None:
+        request._servers[DB].release(request)
+        pool = request._conn_pool
+        request._conn_pool = None
+        pool.release()  # type: ignore[union-attr]
+        app = request._servers[APP]
+        app.work(
+            request,
+            request.demand_at(APP) * (1.0 - _APP_PRE_FRACTION),
+            self._app_post_done,
+        )
+
+    def _app_post_done(self, request: Request) -> None:
+        request._servers[APP].release(request)
+        request._servers[WEB].release(request)
+        request.completion = self.sim.now
+        self.completed += 1
+        request._servers.clear()
+        for listener in self._on_complete:
+            listener(request)

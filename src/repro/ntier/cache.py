@@ -1,0 +1,91 @@
+"""Optional Memcached-style cache tier.
+
+The paper notes that its 3-tier deployment can be extended on demand
+with a cache tier (Memcached). This module provides that extension for
+the simulator: a :class:`CachePolicy` decides per request whether the
+app tier's downstream call is served from the cache tier (a cheap
+lookup on a cache server) or goes through the usual DB connection-pool
+path. Write interactions always bypass the cache and invalidate
+(modelled as a miss), read interactions hit with a configurable ratio.
+
+The cache changes the *load mix* the DB tier sees — with an 80 % hit
+ratio the DB receives one fifth of the read traffic — which shifts the
+system's bottleneck and therefore the optimal soft-resource
+allocations, exactly the kind of runtime environment change the SCT
+model exists to track.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CachePolicy", "CACHE"]
+
+CACHE = "cache"
+
+
+class CachePolicy:
+    """Hit/miss decisions and cache lookup costs.
+
+    Parameters
+    ----------
+    hit_ratio:
+        Probability that a *read* interaction is served by the cache.
+    lookup_fraction:
+        Cache lookup demand as a fraction of the request's DB demand
+        (a Memcached GET is far cheaper than the SQL it replaces).
+    rng:
+        Random stream for hit/miss draws.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        hit_ratio: float = 0.8,
+        lookup_fraction: float = 0.08,
+    ) -> None:
+        if not 0.0 <= hit_ratio <= 1.0:
+            raise ConfigurationError(
+                f"hit_ratio must be in [0, 1], got {hit_ratio!r}"
+            )
+        if not 0.0 < lookup_fraction <= 1.0:
+            raise ConfigurationError(
+                f"lookup_fraction must be in (0, 1], got {lookup_fraction!r}"
+            )
+        self.rng = rng
+        self.hit_ratio = float(hit_ratio)
+        self.lookup_fraction = float(lookup_fraction)
+        self.hits = 0
+        self.misses = 0
+        self.write_bypasses = 0
+
+    def is_hit(self, interaction: str) -> bool:
+        """Draw the hit/miss outcome for one request."""
+        # Imported lazily: repro.workload imports repro.ntier, so a
+        # module-level import here would be circular.
+        from repro.workload.rubbos import interaction_by_name
+
+        try:
+            write = interaction_by_name(interaction).write
+        except KeyError:
+            write = False
+        if write:
+            self.write_bypasses += 1
+            return False
+        if float(self.rng.random()) < self.hit_ratio:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def lookup_demand(self, db_demand: float) -> float:
+        """Cache-server demand replacing a DB call of ``db_demand``."""
+        return db_demand * self.lookup_fraction
+
+    @property
+    def observed_hit_ratio(self) -> float:
+        """Measured hit ratio over read traffic so far (NaN if none)."""
+        reads = self.hits + self.misses
+        return self.hits / reads if reads else float("nan")

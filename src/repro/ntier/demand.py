@@ -1,0 +1,105 @@
+"""Per-request service-demand model.
+
+A :class:`DemandProfile` describes, for one RUBBoS interaction type, how
+much work (seconds at concurrency 1) a request places on each tier and
+how that work varies request-to-request. Variability uses a gamma
+distribution with configurable coefficient of variation, the usual
+choice for web service demands (strictly positive, right-skewed).
+
+The *dataset size* knob models the paper's "system state" factor: a
+larger permanent dataset means more rows touched per business-logic
+call, inflating demands. The app-tier demand inflates **superlinearly**
+relative to its downstream-wait component, which is what shifts the app
+server's optimal concurrency downward when the dataset grows
+(Section III-C-2 of the paper: Tomcat's ``Q_lower`` 20 → 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TierDemand", "DemandProfile"]
+
+
+@dataclass(frozen=True, slots=True)
+class TierDemand:
+    """Demand placed on a single tier by one interaction type.
+
+    Parameters
+    ----------
+    mean:
+        Mean service demand in seconds (at concurrency 1).
+    cv:
+        Coefficient of variation of the per-request demand draw.
+    dataset_exponent:
+        How the demand scales with dataset size:
+        ``mean_effective = mean * dataset_scale ** dataset_exponent``.
+        CPU-heavy business logic uses an exponent > 0; pass-through work
+        (e.g. the web tier proxying) uses 0.
+    """
+
+    mean: float
+    cv: float = 0.3
+    dataset_exponent: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ConfigurationError(f"demand mean must be > 0, got {self.mean!r}")
+        if self.cv < 0:
+            raise ConfigurationError(f"demand cv must be >= 0, got {self.cv!r}")
+
+    def effective_mean(self, dataset_scale: float) -> float:
+        """Mean demand after applying the dataset-size factor."""
+        if dataset_scale <= 0:
+            raise ConfigurationError(
+                f"dataset_scale must be > 0, got {dataset_scale!r}"
+            )
+        return self.mean * dataset_scale**self.dataset_exponent
+
+
+@dataclass(slots=True)
+class DemandProfile:
+    """Demands of one interaction type across all tiers."""
+
+    interaction: str
+    tiers: dict[str, TierDemand] = field(default_factory=dict)
+
+    def draw(
+        self,
+        rng: np.random.Generator,
+        dataset_scale: float = 1.0,
+        demand_scale: float = 1.0,
+    ) -> dict[str, float]:
+        """Sample one request's per-tier demands (seconds).
+
+        ``demand_scale`` is the experiment-level load-scaling knob: it
+        multiplies every demand so that scaled-down runs preserve
+        concurrency and utilisation exactly (see DESIGN.md §5 and
+        :mod:`repro.experiments`).
+        """
+        out: dict[str, float] = {}
+        for tier_name, td in self.tiers.items():
+            mean = td.effective_mean(dataset_scale) * demand_scale
+            if td.cv == 0:
+                out[tier_name] = mean
+            else:
+                # Gamma with shape k = 1/cv^2 has the requested CV and
+                # mean `mean` with scale = mean/k.
+                shape = 1.0 / (td.cv * td.cv)
+                out[tier_name] = float(rng.gamma(shape, mean / shape))
+        return out
+
+    def mean_demand(self, tier_name: str, dataset_scale: float = 1.0) -> float:
+        """Mean demand this interaction places on ``tier_name``."""
+        try:
+            td = self.tiers[tier_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"interaction {self.interaction!r} has no demand for tier "
+                f"{tier_name!r}; has {sorted(self.tiers)}"
+            ) from None
+        return td.effective_mean(dataset_scale)

@@ -1,0 +1,84 @@
+"""Request objects flowing through the n-tier system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.ntier.server import Server
+
+__all__ = ["Request", "ServerVisit"]
+
+
+@dataclass(slots=True)
+class ServerVisit:
+    """One request's passage through one server.
+
+    ``arrival`` is the instant the request was *admitted* into the server
+    (granted a worker thread), matching the paper's per-server request
+    processing log; time spent waiting for an upstream pool permit is
+    visible only in the end-to-end latency, exactly as a log on the real
+    server would record it.
+    """
+
+    server_name: str
+    arrival: float
+    departure: float | None = None
+
+    @property
+    def latency(self) -> float:
+        """Server-level response time; raises if the visit is still open."""
+        if self.departure is None:
+            raise ValueError(f"visit to {self.server_name} has not completed")
+        return self.departure - self.arrival
+
+
+@dataclass(slots=True)
+class Request:
+    """A single client interaction travelling web → app → db and back.
+
+    The per-tier service demands (seconds of work at concurrency 1) are
+    drawn once at creation time by the workload generator from the
+    RUBBoS interaction catalog; servers consume them as the request
+    progresses.
+    """
+
+    req_id: int
+    interaction: str
+    arrival: float
+    demands: dict[str, float]
+    completion: float | None = None
+    visits: list[ServerVisit] = field(default_factory=list)
+
+    # Transient routing state, owned by the application flow.
+    _servers: dict[str, "Server"] = field(default_factory=dict, repr=False)
+    _conn_pool: object | None = field(default=None, repr=False)
+
+    @property
+    def response_time(self) -> float:
+        """End-to-end latency; raises if the request is still in flight."""
+        if self.completion is None:
+            raise ValueError(f"request {self.req_id} has not completed")
+        return self.completion - self.arrival
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has left the system."""
+        return self.completion is not None
+
+    def demand_at(self, tier_name: str) -> float:
+        """Service demand (seconds) this request places on ``tier_name``."""
+        try:
+            return self.demands[tier_name]
+        except KeyError:
+            raise KeyError(
+                f"request {self.req_id} carries no demand for tier {tier_name!r}; "
+                f"has {sorted(self.demands)}"
+            ) from None
+
+    def open_visit(self, server_name: str, now: float) -> ServerVisit:
+        """Record admission into ``server_name`` at time ``now``."""
+        visit = ServerVisit(server_name=server_name, arrival=now)
+        self.visits.append(visit)
+        return visit

@@ -1,0 +1,292 @@
+"""Processor-sharing server with concurrency-dependent capacity.
+
+Each component server (Apache, Tomcat, MySQL instance) is simulated as
+an egalitarian processor-sharing station whose *total* service rate
+follows the :class:`~repro.ntier.capacity.CapacityModel` — i.e. the
+paper's ascending/stable/descending curve — as a function of
+
+* ``a`` — requests actively computing here right now, and
+* ``m`` — requests *admitted* (holding a worker thread), which includes
+  requests blocked on a downstream tier and drives the multithreading
+  overhead penalty.
+
+PS with piecewise-constant rate is simulated exactly and cheaply with a
+shared *service-credit clock*: every active request accrues credit at
+the same instantaneous rate ``work_rate(a, m) / a``; a request finishes
+when its accrued credit reaches its drawn demand. Only the earliest
+completion needs a calendar event, and only that one event is cancelled
+and rescheduled when ``a`` or ``m`` changes — O(log a) per transition.
+
+The server also keeps the monotone monitoring accumulators (time-
+weighted concurrency, completions, per-server latency, resource busy
+integrals) that the 50 ms interval monitor and the 1 s metric warehouse
+difference, which is how the paper's fine-grained request-log analysis
+is reproduced without storing every event.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.ntier.capacity import CapacityModel
+from repro.ntier.pools import FifoPool
+from repro.ntier.request import Request, ServerVisit
+from repro.sim.engine import Simulator
+from repro.sim.event import EventHandle
+
+__all__ = ["Server", "ServerConfig"]
+
+_INF = float("inf")
+
+
+@dataclass(slots=True)
+class ServerConfig:
+    """Static description of one server instance."""
+
+    name: str
+    tier: str
+    capacity: CapacityModel
+    thread_limit: int
+
+
+class _ActiveJob:
+    """Bookkeeping for one request currently in the PS active set."""
+
+    __slots__ = ("finish_credit", "seq", "request", "on_done", "done")
+
+    def __init__(
+        self,
+        finish_credit: float,
+        seq: int,
+        request: Request,
+        on_done: Callable[[Request], None],
+    ) -> None:
+        self.finish_credit = finish_credit
+        self.seq = seq
+        self.request = request
+        self.on_done = on_done
+        self.done = False
+
+    def __lt__(self, other: "_ActiveJob") -> bool:
+        if self.finish_credit != other.finish_credit:
+            return self.finish_credit < other.finish_credit
+        return self.seq < other.seq
+
+
+class Server:
+    """One simulated component server (a VM running Apache/Tomcat/MySQL)."""
+
+    def __init__(self, sim: Simulator, config: ServerConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.name = config.name
+        self.tier = config.tier
+        self.capacity = config.capacity
+        self.threads = FifoPool(f"{config.name}.threads", config.thread_limit)
+
+        # --- PS state -------------------------------------------------
+        self._credit = 0.0  # shared per-job service credit
+        self._heap: list[_ActiveJob] = []
+        self._active = 0  # live (non-done) jobs in the heap
+        self._admitted = 0  # threads held (active + blocked)
+        self._seq = 0
+        self._last_update = sim.now
+        self._rate_per_job = 0.0
+        self._completion_event: EventHandle | None = None
+        self._visits: dict[int, ServerVisit] = {}
+
+        # --- monotone monitoring accumulators --------------------------
+        self.concurrency_integral = 0.0  # ∫ admitted dt
+        self.active_integral = 0.0  # ∫ active dt
+        self.completions = 0  # requests that fully departed
+        self.latency_total = 0.0  # sum of per-server response times
+        self.work_completions = 0  # PS phases finished
+        self.util_integral: dict[str, float] = {
+            r.name: 0.0 for r in self.capacity.resources
+        }
+        self.arrivals = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def admitted(self) -> int:
+        """Current concurrency (requests holding a worker thread)."""
+        return self._admitted
+
+    @property
+    def active(self) -> int:
+        """Requests actively computing (admitted minus blocked)."""
+        return self._active
+
+    @property
+    def is_idle(self) -> bool:
+        """True when no request is admitted, queued, or waiting."""
+        return self._admitted == 0 and self.threads.queued == 0
+
+    def utilization(self, resource: str = "cpu") -> float:
+        """Instantaneous utilisation of one resource."""
+        return self.capacity.utilization(resource, self._active, self._admitted)
+
+    def set_capacity(self, capacity: CapacityModel) -> None:
+        """Swap the capacity model at runtime (vertical scaling).
+
+        The PS credit clock is advanced under the old rate first, so
+        in-flight requests complete exactly the work they accrued; the
+        new rate applies from this instant. Monitoring integrals keyed
+        by resource name are preserved for resources common to both
+        models and created for new ones.
+        """
+        self._advance_clock()
+        self.capacity = capacity
+        for res in capacity.resources:
+            self.util_integral.setdefault(res.name, 0.0)
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    # request lifecycle
+    # ------------------------------------------------------------------
+    def admit(self, request: Request, on_admitted: Callable[[Request], None]) -> None:
+        """Ask for a worker thread; ``on_admitted`` fires once granted.
+
+        Admission (not queue entry) opens the server visit record, so
+        the measured per-server response time excludes upstream pool
+        waits — matching a request-processing log on the real server.
+        """
+        self.threads.acquire(request, lambda req: self._granted(req, on_admitted))
+
+    def _granted(self, request: Request, on_admitted: Callable[[Request], None]) -> None:
+        self._advance_clock()
+        self._admitted += 1
+        self.arrivals += 1
+        self._visits[request.req_id] = request.open_visit(self.name, self.sim.now)
+        self._reschedule()
+        on_admitted(request)
+
+    def work(
+        self,
+        request: Request,
+        demand: float,
+        on_done: Callable[[Request], None],
+    ) -> None:
+        """Run one PS compute phase of ``demand`` work-seconds.
+
+        The request must already be admitted. Requests between phases
+        (e.g. a Tomcat thread waiting on MySQL) simply are not in the
+        active set; their thread still counts toward the overhead
+        penalty via ``admitted``.
+        """
+        if request.req_id not in self._visits:
+            raise SimulationError(
+                f"{self.name}: work() for request {request.req_id} "
+                "which was never admitted"
+            )
+        if demand <= 0.0:
+            # Zero-cost phase: complete on the next event tick to keep
+            # callback depth bounded.
+            self.sim.schedule_after(0.0, on_done, request)
+            return
+        self._advance_clock()
+        job = _ActiveJob(self._credit + demand, self._seq, request, on_done)
+        self._seq += 1
+        heapq.heappush(self._heap, job)
+        self._active += 1
+        self._reschedule()
+
+    def release(self, request: Request) -> None:
+        """Return the worker thread and close the visit record."""
+        visit = self._visits.pop(request.req_id, None)
+        if visit is None:
+            raise SimulationError(
+                f"{self.name}: release() for request {request.req_id} "
+                "which is not admitted"
+            )
+        self._advance_clock()
+        self._admitted -= 1
+        visit.departure = self.sim.now
+        self.completions += 1
+        self.latency_total += visit.latency
+        self.threads.release()
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    # PS mechanics
+    # ------------------------------------------------------------------
+    def _advance_clock(self) -> None:
+        """Accrue credit and monitoring integrals up to `sim.now`."""
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0.0:
+            if self._active > 0:
+                self._credit += dt * self._rate_per_job
+            self.concurrency_integral += dt * self._admitted
+            self.active_integral += dt * self._active
+            if self._active > 0:
+                for res in self.capacity.resources:
+                    self.util_integral[res.name] += dt * self.capacity.utilization(
+                        res.name, self._active, self._admitted
+                    )
+            self._last_update = now
+        elif dt == 0.0:
+            self._last_update = now
+
+    def sync_monitors(self) -> None:
+        """Bring the monitoring integrals up to the current instant.
+
+        Called by interval monitors before reading the accumulators so
+        interval boundaries are exact even when no event fell on them.
+        """
+        self._advance_clock()
+
+    def _reschedule(self) -> None:
+        """Recompute the PS rate and (re)schedule the next completion."""
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        # Drop already-finished heap entries lazily.
+        heap = self._heap
+        while heap and heap[0].done:
+            heapq.heappop(heap)
+        if self._active <= 0:
+            self._rate_per_job = 0.0
+            return
+        total_rate = self.capacity.work_rate(self._active, self._admitted)
+        self._rate_per_job = total_rate / self._active
+        if not heap:  # pragma: no cover - defensive, implies bookkeeping bug
+            raise SimulationError(f"{self.name}: active={self._active} but heap empty")
+        remaining = heap[0].finish_credit - self._credit
+        if remaining <= 0.0:
+            self._completion_event = self.sim.schedule_after(0.0, self._complete)
+        else:
+            delay = remaining / self._rate_per_job
+            self._completion_event = self.sim.schedule_after(delay, self._complete)
+
+    def _complete(self) -> None:
+        """Fire every job whose credit requirement has been met."""
+        self._advance_clock()
+        self._completion_event = None
+        finished: list[_ActiveJob] = []
+        heap = self._heap
+        # A tiny epsilon absorbs float round-off so a job scheduled to
+        # finish exactly now is not left 1e-18 credit short.
+        threshold = self._credit + 1e-12
+        while heap and (heap[0].done or heap[0].finish_credit <= threshold):
+            job = heapq.heappop(heap)
+            if job.done:
+                continue
+            job.done = True
+            self._active -= 1
+            self.work_completions += 1
+            finished.append(job)
+        self._reschedule()
+        for job in finished:
+            job.on_done(job.request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Server({self.name!r}, admitted={self._admitted}, "
+            f"active={self._active}, queued={self.threads.queued})"
+        )

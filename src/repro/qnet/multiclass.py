@@ -1,0 +1,144 @@
+"""Exact multi-class Mean Value Analysis.
+
+Extends :mod:`repro.qnet.mva` to multiple customer classes (e.g. the
+paper's browse-only vs read/write-mix requests sharing the same tiers
+with different per-tier demands). Classic exact recursion over the
+population lattice:
+
+    R_{c,k}(n) = D_{c,k} * (1 + Q_k(n - e_c))
+    X_c(n)     = n_c / (Z_c + sum_k R_{c,k}(n))
+    Q_k(n)     = sum_c X_c(n) * R_{c,k}(n)
+
+Complexity is O(K * prod_c (N_c + 1)) — exact and fast for the two or
+three classes a web workload needs. Stations are fixed-rate here;
+load-dependent multi-class MVA requires per-station marginal
+distributions and is out of scope (the single-class solver covers the
+load-dependent case).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MultiClassResult", "solve_mva_multiclass"]
+
+
+@dataclass(frozen=True)
+class MultiClassResult:
+    """Solution at the full population vector."""
+
+    classes: tuple[str, ...]
+    stations: tuple[str, ...]
+    populations: dict[str, int]
+    throughput: dict[str, float]  # X_c
+    response_time: dict[str, float]  # R_c (queueing stations only)
+    station_queue: dict[str, float]  # Q_k at the full population
+
+    def total_throughput(self) -> float:
+        return float(sum(self.throughput.values()))
+
+    def bottleneck(self) -> str:
+        """Station with the largest mean queue at full population."""
+        return max(self.station_queue, key=self.station_queue.get)
+
+
+def solve_mva_multiclass(
+    station_names: list[str],
+    demands: dict[str, dict[str, float]],
+    populations: dict[str, int],
+    think_times: dict[str, float] | None = None,
+) -> MultiClassResult:
+    """Solve the multi-class closed network exactly.
+
+    Parameters
+    ----------
+    station_names:
+        Queueing stations (PS/FCFS, fixed rate).
+    demands:
+        ``{class: {station: service demand seconds}}``. Every class
+        must define a demand (possibly 0) for every station.
+    populations:
+        ``{class: N_c}`` customers per class.
+    think_times:
+        Optional ``{class: Z_c}`` delay per cycle (defaults to 0).
+    """
+    classes = sorted(populations)
+    if not classes:
+        raise ConfigurationError("need at least one class")
+    if not station_names:
+        raise ConfigurationError("need at least one station")
+    if len(set(station_names)) != len(station_names):
+        raise ConfigurationError(f"duplicate stations: {station_names}")
+    think = {c: 0.0 for c in classes}
+    if think_times:
+        think.update(think_times)
+    for c in classes:
+        if populations[c] < 0:
+            raise ConfigurationError(f"population of {c!r} must be >= 0")
+        if c not in demands:
+            raise ConfigurationError(f"no demands for class {c!r}")
+        for k in station_names:
+            d = demands[c].get(k)
+            if d is None or d < 0:
+                raise ConfigurationError(
+                    f"class {c!r} needs a demand >= 0 for station {k!r}"
+                )
+        if think[c] < 0:
+            raise ConfigurationError(f"think time of {c!r} must be >= 0")
+    if all(populations[c] == 0 for c in classes):
+        raise ConfigurationError("at least one class must have customers")
+
+    n_max = [populations[c] for c in classes]
+    shape = tuple(n + 1 for n in n_max)
+    n_stations = len(station_names)
+    # Q[k][n-vector] — mean queue length at station k for population n.
+    q = np.zeros((n_stations,) + shape)
+
+    x_final: dict[str, float] = {c: 0.0 for c in classes}
+    r_final: dict[str, float] = {c: 0.0 for c in classes}
+
+    # Iterate the lattice in order of total population so every
+    # (n - e_c) is already solved.
+    lattice = sorted(
+        itertools.product(*(range(s) for s in shape)), key=sum
+    )
+    for n_vec in lattice:
+        if sum(n_vec) == 0:
+            continue
+        residence = np.zeros((len(classes), n_stations))
+        for ci, c in enumerate(classes):
+            if n_vec[ci] == 0:
+                continue
+            prev = list(n_vec)
+            prev[ci] -= 1
+            prev = tuple(prev)
+            for ki, k in enumerate(station_names):
+                residence[ci, ki] = demands[c][k] * (1.0 + q[ki][prev])
+        xs = np.zeros(len(classes))
+        for ci, c in enumerate(classes):
+            if n_vec[ci] == 0:
+                continue
+            xs[ci] = n_vec[ci] / (think[c] + residence[ci].sum())
+        for ki in range(n_stations):
+            q[ki][n_vec] = float(np.dot(xs, residence[:, ki]))
+        if n_vec == tuple(n_max):
+            for ci, c in enumerate(classes):
+                x_final[c] = float(xs[ci])
+                r_final[c] = float(residence[ci].sum())
+
+    full = tuple(n_max)
+    return MultiClassResult(
+        classes=tuple(classes),
+        stations=tuple(station_names),
+        populations=dict(populations),
+        throughput=x_final,
+        response_time=r_final,
+        station_queue={
+            k: float(q[ki][full]) for ki, k in enumerate(station_names)
+        },
+    )

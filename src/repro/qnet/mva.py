@@ -1,0 +1,188 @@
+"""Exact Mean Value Analysis for closed product-form networks.
+
+Three station kinds:
+
+* :class:`QueueingStation` — fixed-rate PS/FCFS station with per-visit
+  demand ``D`` (the classic MVA recursion
+  ``R_k(n) = D_k * (1 + Q_k(n-1))``);
+* :class:`DelayStation` — infinite-server think time
+  (``R_k(n) = D_k``);
+* :class:`LDStation` — load-dependent station with rate multipliers
+  ``r(j)`` (service rate with ``j`` customers present is ``r(j)/D``
+  customers/second). Solved with Reiser's exact recursion over the
+  marginal queue-length probabilities, O(N) state per station.
+
+A PS server whose total work rate at concurrency ``j`` is
+``min(j, a_sat) * penalty(j)`` is exactly an ``LDStation`` with those
+multipliers — queue-length-dependent service speeds preserve BCMP
+product form, so the analysis is exact for the simulator's servers
+(in isolation; admission pools and cross-tier penalty coupling are
+simulation-only effects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "QueueingStation",
+    "DelayStation",
+    "LDStation",
+    "MvaResult",
+    "solve_mva",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class QueueingStation:
+    """Fixed-rate queueing station (single PS/FCFS server)."""
+
+    name: str
+    demand: float  # service demand per visit, seconds
+
+    def __post_init__(self) -> None:
+        if self.demand <= 0:
+            raise ConfigurationError(f"{self.name}: demand must be > 0")
+
+
+@dataclass(frozen=True, slots=True)
+class DelayStation:
+    """Infinite-server (think time) station."""
+
+    name: str
+    demand: float
+
+    def __post_init__(self) -> None:
+        if self.demand < 0:
+            raise ConfigurationError(f"{self.name}: demand must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class LDStation:
+    """Load-dependent station.
+
+    ``rate(j)`` is the dimensionless service-rate multiplier with ``j``
+    customers present: the station completes work at ``rate(j)/demand``
+    customers/second. ``rate`` must be positive for ``j >= 1``.
+    """
+
+    name: str
+    demand: float
+    rate: Callable[[int], float]
+
+    def __post_init__(self) -> None:
+        if self.demand <= 0:
+            raise ConfigurationError(f"{self.name}: demand must be > 0")
+
+
+Station = QueueingStation | DelayStation | LDStation
+
+
+@dataclass
+class MvaResult:
+    """Per-population solution of the closed network."""
+
+    populations: np.ndarray  # 1..N
+    throughput: np.ndarray  # X(n), customers/second
+    response_time: np.ndarray  # R(n) summed over queueing stations
+    station_queue: dict[str, np.ndarray] = field(default_factory=dict)
+    station_residence: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def at(self, n: int) -> tuple[float, float]:
+        """(throughput, response time) at population ``n``."""
+        idx = int(n) - 1
+        if idx < 0 or idx >= self.populations.size:
+            raise ConfigurationError(
+                f"population {n} outside the solved range "
+                f"1..{self.populations.size}"
+            )
+        return float(self.throughput[idx]), float(self.response_time[idx])
+
+
+def solve_mva(stations: Sequence[Station], n_max: int) -> MvaResult:
+    """Solve the closed network exactly for populations 1..n_max."""
+    if n_max < 1:
+        raise ConfigurationError(f"n_max must be >= 1, got {n_max!r}")
+    if not stations:
+        raise ConfigurationError("need at least one station")
+    names = [s.name for s in stations]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate station names: {names}")
+
+    think = sum(s.demand for s in stations if isinstance(s, DelayStation))
+    fixed = [s for s in stations if isinstance(s, QueueingStation)]
+    loaddep = [s for s in stations if isinstance(s, LDStation)]
+
+    # Pre-compute LD rate multipliers (validated once).
+    ld_rates: dict[str, np.ndarray] = {}
+    for s in loaddep:
+        rates = np.array([float(s.rate(j)) for j in range(1, n_max + 1)])
+        if np.any(rates <= 0):
+            raise ConfigurationError(f"{s.name}: rate(j) must be > 0 for j >= 1")
+        ld_rates[s.name] = rates
+
+    # State: fixed-station mean queue lengths; LD-station marginal
+    # probabilities p[j] = P(j customers at station | population n).
+    q_fixed = {s.name: 0.0 for s in fixed}
+    p_ld = {s.name: np.zeros(n_max + 1) for s in loaddep}
+    for probs in p_ld.values():
+        probs[0] = 1.0
+
+    xs = np.zeros(n_max)
+    rs = np.zeros(n_max)
+    q_hist = {s.name: np.zeros(n_max) for s in stations}
+    r_hist = {s.name: np.zeros(n_max) for s in stations}
+
+    for n in range(1, n_max + 1):
+        residence: dict[str, float] = {}
+        for s in fixed:
+            residence[s.name] = s.demand * (1.0 + q_fixed[s.name])
+        for s in loaddep:
+            probs = p_ld[s.name]
+            rates = ld_rates[s.name]
+            # R_k(n) = D_k * sum_{j=1..n} (j / r(j)) * p(j-1 | n-1)
+            js = np.arange(1, n + 1)
+            residence[s.name] = s.demand * float(
+                np.sum(js / rates[:n] * probs[:n])
+            )
+        r_total = sum(residence.values())
+        x = n / (think + r_total)
+
+        for s in fixed:
+            q_fixed[s.name] = x * residence[s.name]
+        for s in loaddep:
+            probs = p_ld[s.name]
+            rates = ld_rates[s.name]
+            new_probs = np.zeros(n_max + 1)
+            # p(j|n) = (X * D / r(j)) * p(j-1 | n-1)
+            js = np.arange(1, n + 1)
+            new_probs[1 : n + 1] = x * s.demand / rates[:n] * probs[:n]
+            new_probs[0] = max(0.0, 1.0 - new_probs[1 : n + 1].sum())
+            p_ld[s.name] = new_probs
+
+        xs[n - 1] = x
+        rs[n - 1] = r_total
+        for s in stations:
+            if isinstance(s, DelayStation):
+                q_hist[s.name][n - 1] = x * s.demand
+                r_hist[s.name][n - 1] = s.demand
+            elif isinstance(s, QueueingStation):
+                q_hist[s.name][n - 1] = q_fixed[s.name]
+                r_hist[s.name][n - 1] = residence[s.name]
+            else:
+                js = np.arange(1, n_max + 1)
+                q_hist[s.name][n - 1] = float(np.sum(js * p_ld[s.name][1:]))
+                r_hist[s.name][n - 1] = residence[s.name]
+
+    return MvaResult(
+        populations=np.arange(1, n_max + 1),
+        throughput=xs,
+        response_time=rs,
+        station_queue=q_hist,
+        station_residence=r_hist,
+    )

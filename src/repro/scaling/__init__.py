@@ -1,0 +1,44 @@
+"""Scaling frameworks: EC2-AutoScaling, DCM, and ConScale.
+
+All three controllers share the identical threshold-based hardware
+scaling policy (:mod:`~repro.scaling.policy`) and actuation path
+(:mod:`~repro.scaling.actuator`); they differ **only** in how they
+manage soft resources after hardware changes:
+
+* :class:`~repro.scaling.ec2.EC2AutoScaling` — never touches them
+  (hardware-only, the industry baseline);
+* :class:`~repro.scaling.dcm.DCMController` — applies a statically
+  trained concurrency table from an offline profiling run;
+* :class:`~repro.scaling.conscale.ConScaleController` — re-estimates
+  the optimal concurrency online with the SCT model and re-allocates
+  pools on the fly (the paper's contribution).
+"""
+
+from repro.scaling.actions import ActionLog, ScalingAction
+from repro.scaling.actuator import Actuator
+from repro.scaling.conscale import ConScaleController
+from repro.scaling.controller import BaseController
+from repro.scaling.dcm import DCMController, DcmTrainedProfile, offline_profile
+from repro.scaling.ec2 import EC2AutoScaling
+from repro.scaling.estimator import OptimalConcurrencyEstimator, TierEstimate
+from repro.scaling.factory import ServerFactory
+from repro.scaling.policy import ThresholdPolicy, TierPolicyConfig
+from repro.scaling.predictive import PredictiveAutoScaling
+
+__all__ = [
+    "ActionLog",
+    "ScalingAction",
+    "Actuator",
+    "ConScaleController",
+    "BaseController",
+    "DCMController",
+    "DcmTrainedProfile",
+    "offline_profile",
+    "EC2AutoScaling",
+    "PredictiveAutoScaling",
+    "OptimalConcurrencyEstimator",
+    "TierEstimate",
+    "ServerFactory",
+    "ThresholdPolicy",
+    "TierPolicyConfig",
+]

@@ -1,0 +1,89 @@
+"""Scaling-action records.
+
+Every hardware and soft-resource action is logged with its timestamp so
+the evaluation figures can annotate scale events on the timeline ("a
+new Tomcat is added at 85 s ...") and tests can assert controller
+behaviour precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["ScalingAction", "ActionLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingAction:
+    """One scaling event.
+
+    ``kind`` is one of:
+
+    * ``scale_out_started`` / ``scale_out_ready`` — VM launch and its
+      completion after the preparation period;
+    * ``scale_in_started`` / ``scale_in_done`` — drain begin and VM stop;
+    * ``soft_app_threads`` / ``soft_db_connections`` /
+      ``soft_web_threads`` — pool re-allocations (``value`` is the new
+      limit).
+    """
+
+    time: float
+    kind: str
+    tier: str
+    value: int | None = None
+    detail: str = ""
+
+
+class ActionLog:
+    """Append-only list of scaling actions with query helpers."""
+
+    def __init__(self) -> None:
+        self._actions: list[ScalingAction] = []
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        tier: str,
+        value: int | None = None,
+        detail: str = "",
+    ) -> None:
+        """Append one action."""
+        self._actions.append(ScalingAction(time, kind, tier, value, detail))
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __iter__(self):
+        return iter(self._actions)
+
+    def all(self) -> list[ScalingAction]:
+        """Every recorded action in time order."""
+        return list(self._actions)
+
+    def of_kind(self, *kinds: str) -> list[ScalingAction]:
+        """Actions matching any of the given kinds."""
+        wanted = set(kinds)
+        return [a for a in self._actions if a.kind in wanted]
+
+    def for_tier(self, tier: str) -> list[ScalingAction]:
+        """Actions affecting one tier."""
+        return [a for a in self._actions if a.tier == tier]
+
+    def scale_out_times(self, tier: str) -> list[float]:
+        """Times at which new VMs became ready in a tier (figure markers)."""
+        return [
+            a.time for a in self._actions
+            if a.tier == tier and a.kind == "scale_out_ready"
+        ]
+
+    @staticmethod
+    def render(actions: Iterable[ScalingAction]) -> str:
+        """Human-readable multi-line rendering (for reports)."""
+        lines = []
+        for a in actions:
+            value = f" -> {a.value}" if a.value is not None else ""
+            detail = f" ({a.detail})" if a.detail else ""
+            lines.append(f"[{a.time:8.2f}s] {a.kind:<22} {a.tier:<4}{value}{detail}")
+        return "\n".join(lines)

@@ -1,0 +1,260 @@
+"""Actuators: apply hardware and soft-resource decisions (Fig. 8, step 4-6).
+
+The actuator is the only component that touches the hypervisor, the
+application topology and the pools. Controllers express *what* should
+happen (scale tier X out; set app threads to N); the actuator handles
+the mechanics and timing:
+
+* **scale-out** — launch a VM, wait out the preparation period, stamp a
+  server from the factory, attach it to its tier and to the metric
+  warehouse;
+* **scale-in** — drain the newest server ("slow turn-off"), poll until
+  its in-flight requests finish, then retire it and stop the VM;
+* **soft-resource reallocation** — resize the thread pools of every
+  live server of a tier (and the per-app-server DB connection pools),
+  and update the defaults used for servers added later.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cloud.hypervisor import Hypervisor
+from repro.cloud.vm import VM
+from repro.errors import ScalingError
+from repro.monitoring.warehouse import MetricWarehouse
+from repro.ntier.app import APP, DB, WEB, NTierApplication
+from repro.ntier.server import Server
+from repro.scaling.actions import ActionLog
+from repro.scaling.factory import ServerFactory
+from repro.sim.engine import Simulator
+
+__all__ = ["Actuator"]
+
+_DRAIN_POLL = 0.5
+
+
+class Actuator:
+    """Executes scaling actions against the simulated cloud and app."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        app: NTierApplication,
+        hypervisor: Hypervisor,
+        factory: ServerFactory,
+        warehouse: MetricWarehouse,
+        log: ActionLog | None = None,
+    ) -> None:
+        self.sim = sim
+        self.app = app
+        self.hypervisor = hypervisor
+        self.factory = factory
+        self.warehouse = warehouse
+        self.log = log if log is not None else ActionLog()
+        self._vm_by_server: dict[str, VM] = {}
+        self._db_connections = app.soft.db_connections
+        self._draining: dict[str, int] = {}  # tier -> count
+        self._bootstrap_vms: set[str] = set()
+        self._on_hardware_change: list[Callable[[str, str], None]] = []
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+    def on_hardware_change(self, listener: Callable[[str, str], None]) -> None:
+        """Register ``listener(tier, kind)`` for completed hardware actions
+        (kind is ``"scale_out_ready"`` or ``"scale_in_done"``)."""
+        self._on_hardware_change.append(listener)
+
+    # ------------------------------------------------------------------
+    # bootstrap & hardware scaling
+    # ------------------------------------------------------------------
+    def bootstrap(self, tier: str, count: int = 1) -> None:
+        """Provision the initial topology with no preparation delay.
+
+        Bootstrap attachments are logged as ``bootstrap_ready`` (not
+        ``scale_out_ready``) so figure code and controllers can tell
+        the initial topology apart from runtime scaling events.
+        """
+        for _ in range(count):
+            vm = self.hypervisor.launch(tier, self._vm_ready, prep_period=0.0)
+            self._bootstrap_vms.add(vm.name)
+
+    def scale_out(self, tier: str) -> None:
+        """Launch one more VM for a tier (takes the prep period)."""
+        vm = self.hypervisor.launch(tier, self._vm_ready)
+        self.log.record(self.sim.now, "scale_out_started", tier, detail=vm.name)
+
+    def _vm_ready(self, vm: VM) -> None:
+        server = self.factory.create(vm.tier)
+        vm.server_name = server.name
+        self._vm_by_server[server.name] = vm
+        db_conn = self._db_connections if vm.tier == APP else None
+        self.app.attach_server(server, db_connections=db_conn)
+        self.warehouse.register_server(server)
+        kind = (
+            "bootstrap_ready" if vm.name in self._bootstrap_vms else "scale_out_ready"
+        )
+        self.log.record(self.sim.now, kind, vm.tier, detail=server.name)
+        self._notify(vm.tier, kind)
+
+    def scale_up(
+        self, tier: str, factor: float = 2.0, max_vcpus: float = 8.0
+    ) -> bool:
+        """Vertically scale one server of a tier (add CPU cores).
+
+        Picks the live server with the fewest vCPUs, multiplies its
+        cores by ``factor`` (capped at ``max_vcpus``), and swaps in the
+        correspondingly scaled capacity model after the hypervisor's
+        reconfiguration delay. Returns False when every server is
+        already at the cap (the controller should scale out instead).
+
+        Note the paper's Fig. 7(a)/(d) consequence: vertical scaling
+        *changes the server's optimal concurrency* (Q_lower doubles
+        with the cores), which is exactly why hardware-only and
+        statically-profiled frameworks go stale after a scale-up.
+        """
+        if factor <= 1.0:
+            raise ScalingError(f"scale_up factor must be > 1, got {factor!r}")
+        candidates = [
+            (self._vm_by_server[s.name], s)
+            for s in self.app.tiers[tier].servers
+            if s.name in self._vm_by_server
+            and self._vm_by_server[s.name].vcpus < max_vcpus
+        ]
+        if not candidates:
+            return False
+        vm, server = min(candidates, key=lambda pair: pair[0].vcpus)
+        new_vcpus = min(max_vcpus, vm.vcpus * factor)
+        ratio = new_vcpus / vm.vcpus
+        self.log.record(
+            self.sim.now, "scale_up_started", tier,
+            value=int(new_vcpus), detail=server.name,
+        )
+
+        def _apply(_vm) -> None:
+            critical = server.capacity.critical_resource.name
+            scaled = server.capacity.scaled_cores(
+                critical, server.capacity.resource(critical).units * ratio
+            )
+            server.set_capacity(scaled)
+            # Scatter collected under the old core count describes the
+            # old capacity curve; drop it so the SCT model re-learns
+            # the new optimum quickly.
+            self.warehouse.reset_fine_history(server.name)
+            self.log.record(
+                self.sim.now, "scale_up_done", tier,
+                value=int(new_vcpus), detail=server.name,
+            )
+            self._notify(tier, "scale_up_done")
+
+        self.hypervisor.resize(vm, new_vcpus, _apply)
+        return True
+
+    def scale_in(self, tier: str) -> None:
+        """Drain the newest server of a tier and stop its VM once empty."""
+        tier_obj = self.app.tiers[tier]
+        server = tier_obj.begin_drain()
+        vm = self._vm_by_server.get(server.name)
+        if vm is None:
+            raise ScalingError(f"no VM recorded for server {server.name!r}")
+        self.hypervisor.mark_draining(vm)
+        self._draining[tier] = self._draining.get(tier, 0) + 1
+        self.log.record(self.sim.now, "scale_in_started", tier, detail=server.name)
+        self.sim.schedule_after(_DRAIN_POLL, self._check_drained, tier, server, vm)
+
+    def _check_drained(self, tier: str, server: Server, vm: VM) -> None:
+        if not server.is_idle:
+            self.sim.schedule_after(_DRAIN_POLL, self._check_drained, tier, server, vm)
+            return
+        self.app.tiers[tier].collect_drained()
+        self.warehouse.deregister_server(server.name)
+        if tier == APP:
+            self.app.detach_conn_pool(server.name)
+        self.hypervisor.stop(vm)
+        del self._vm_by_server[server.name]
+        self._draining[tier] = self._draining.get(tier, 1) - 1
+        self.log.record(self.sim.now, "scale_in_done", tier, detail=server.name)
+        self._notify(tier, "scale_in_done")
+
+    # ------------------------------------------------------------------
+    # soft-resource reallocation
+    # ------------------------------------------------------------------
+    def set_web_threads(self, limit: int) -> None:
+        """Resize every web server's thread pool."""
+        self._resize_tier_threads(WEB, limit, "soft_web_threads")
+
+    def set_app_threads(self, limit: int) -> None:
+        """Resize every app server's thread pool (Tomcat via JMX)."""
+        self._resize_tier_threads(APP, limit, "soft_app_threads")
+
+    def set_app_threads_for(self, server_name: str, limit: int) -> None:
+        """Resize one app server's thread pool (heterogeneous fleets).
+
+        After a vertical scale-up part of a tier may have more cores
+        than the rest; per-server actuation lets ConScale give each
+        instance its own optimal concurrency. The factory template (the
+        default for *future* servers) is not changed.
+        """
+        if limit < 1:
+            raise ScalingError(f"thread limit must be >= 1, got {limit!r}")
+        for server in self.app.tiers[APP].all_instances():
+            if server.name == server_name:
+                if server.threads.limit != limit:
+                    server.threads.resize(limit)
+                    self.log.record(
+                        self.sim.now, "soft_app_threads", APP,
+                        value=limit, detail=server_name,
+                    )
+                return
+        raise ScalingError(f"no app server named {server_name!r}")
+
+    def set_db_connections(self, limit: int) -> None:
+        """Resize the DB connection pool in every app server.
+
+        This is the extended-JMX path of the paper (Tomcat does not
+        expose the conn pool natively); it caps the concurrency flowing
+        into the DB tier at ``limit * n_app_servers``.
+        """
+        if limit < 1:
+            raise ScalingError(f"db_connections must be >= 1, got {limit!r}")
+        if limit == self._db_connections and all(
+            p.limit == limit for p in self.app.conn_pools.values()
+        ):
+            return
+        self._db_connections = int(limit)
+        for pool in self.app.conn_pools.values():
+            pool.resize(limit)
+        self.log.record(self.sim.now, "soft_db_connections", APP, value=limit)
+
+    def _resize_tier_threads(self, tier: str, limit: int, kind: str) -> None:
+        if limit < 1:
+            raise ScalingError(f"thread limit must be >= 1, got {limit!r}")
+        servers = self.app.tiers[tier].all_instances()
+        if self.factory.thread_limit(tier) == limit and all(
+            s.threads.limit == limit for s in servers
+        ):
+            return
+        for server in servers:
+            server.threads.resize(limit)
+        self.factory.set_thread_limit(tier, limit)
+        self.log.record(self.sim.now, kind, tier, value=limit)
+
+    # ------------------------------------------------------------------
+    # state queries for the policy
+    # ------------------------------------------------------------------
+    @property
+    def db_connections(self) -> int:
+        """Current per-app-server DB connection pool limit."""
+        return self._db_connections
+
+    def action_in_flight(self, tier: str) -> bool:
+        """True while a scale-out is provisioning or a scale-in draining."""
+        return (
+            self.hypervisor.provisioning_count(tier) > 0
+            or self._draining.get(tier, 0) > 0
+        )
+
+    def _notify(self, tier: str, kind: str) -> None:
+        for listener in self._on_hardware_change:
+            listener(tier, kind)

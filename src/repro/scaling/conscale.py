@@ -1,0 +1,236 @@
+"""ConScale: concurrency-aware system scaling (the paper's framework).
+
+ConScale = the shared threshold hardware scaler **plus** fast online
+soft-resource adaption:
+
+1. when a hardware scaling action completes, immediately re-estimate
+   the optimal concurrency of the app and DB tiers with the SCT model
+   and re-allocate the pools;
+2. additionally re-estimate periodically, so runtime-environment
+   changes that do not coincide with scaling events (e.g. the dataset
+   size drifting — the Fig. 11 scenario) are also caught.
+
+The DB tier's concurrency is actuated indirectly: if the SCT model says
+each MySQL should run at ``Q*`` and there are ``n_db`` MySQL and
+``n_app`` Tomcat instances, each Tomcat's connection pool is set to
+``round(Q* * n_db / n_app)``.
+"""
+
+from __future__ import annotations
+
+from repro.monitoring.warehouse import MetricWarehouse
+from repro.ntier.app import APP, DB
+from repro.scaling.actuator import Actuator
+from repro.scaling.controller import BaseController
+from repro.scaling.estimator import OptimalConcurrencyEstimator, TierEstimate
+from repro.scaling.policy import TierPolicyConfig
+from repro.sim.engine import Simulator
+
+__all__ = ["ConScaleController"]
+
+
+class ConScaleController(BaseController):
+    """The paper's concurrency-aware scaling framework."""
+
+    name = "conscale"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        warehouse: MetricWarehouse,
+        actuator: Actuator,
+        estimator: OptimalConcurrencyEstimator | None = None,
+        tier_configs: dict[str, TierPolicyConfig] | None = None,
+        tick: float = 1.0,
+        adapt_interval: float = 2.0,
+        hysteresis: float = 0.2,
+        headroom: float = 1.15,
+        min_app_threads: int = 4,
+        max_app_threads: int = 400,
+        min_db_connections: int = 2,
+        max_db_connections: int = 400,
+        per_server_app: bool = False,
+    ) -> None:
+        super().__init__(sim, warehouse, actuator, tier_configs, tick)
+        self.estimator = estimator or OptimalConcurrencyEstimator(warehouse)
+        self.adapt_interval = float(adapt_interval)
+        self.hysteresis = float(hysteresis)
+        # Actuate slightly above the estimated Q_lower: the estimate is
+        # noise-biased a little low (tolerance band on a rising curve),
+        # and a cap exactly at the knee parks the bottleneck's CPU just
+        # below the hardware scaler's threshold. The paper's own runs
+        # show the same behaviour (e.g. "MySQL1 20 -> 22" in Fig. 8).
+        self.headroom = float(headroom)
+        self.min_app_threads = int(min_app_threads)
+        self.max_app_threads = int(max_app_threads)
+        self.min_db_connections = int(min_db_connections)
+        self.max_db_connections = int(max_db_connections)
+        # Per-server app-tier actuation for heterogeneous fleets (e.g.
+        # after vertical scaling of part of the tier): each Tomcat gets
+        # its own estimated optimum instead of the tier median.
+        self.per_server_app = bool(per_server_app)
+        self._last_adapt = -1e18
+
+    # ------------------------------------------------------------------
+    # controller hooks
+    # ------------------------------------------------------------------
+    def after_hardware_change(self, tier: str, kind: str) -> None:
+        """Fast adaption right after hardware scaling (paper step 2)."""
+        self._adapt(force=True)
+
+    def periodic_adapt(self, now: float) -> None:
+        """Continuous adaption for non-scaling environment changes."""
+        if now - self._last_adapt >= self.adapt_interval:
+            self._adapt(force=False)
+
+    # ------------------------------------------------------------------
+    # the adaption step
+    # ------------------------------------------------------------------
+    def _adapt(self, force: bool) -> None:
+        self._last_adapt = self.sim.now
+        self._adapt_app(force)
+        self._adapt_db(force)
+
+    def _adapt_app(self, force: bool) -> None:
+        est = self.estimator.estimate_tier(APP)
+        current = self.actuator.factory.thread_limit(APP)
+        if self.per_server_app and est is not None and self._adapt_app_per_server(
+            est, force
+        ):
+            return
+        if self._usable(est):
+            target = self._clamp(
+                self._with_headroom(est.optimal),
+                self.min_app_threads,
+                self.max_app_threads,
+            )
+            if force or self._drifted(current, target):
+                self.actuator.set_app_threads(target)
+            return
+        if self._should_explore(APP, est):
+            target = min(self.max_app_threads, self._probe_up(current))
+            if target != current:
+                self.actuator.set_app_threads(target)
+            return
+        relaxed = self._maybe_relax(APP, current, self.actuator.app.soft.app_threads)
+        if relaxed != current:
+            self.actuator.set_app_threads(relaxed)
+
+    def _adapt_db(self, force: bool) -> None:
+        est = self.estimator.estimate_tier(DB)
+        current = self.actuator.db_connections
+        if self._usable(est):
+            n_db = self.actuator.app.tiers[DB].size
+            n_app = max(1, self.actuator.app.tiers[APP].size)
+            total_db_concurrency = self._with_headroom(est.optimal) * n_db
+            per_app = self._clamp(
+                -(-total_db_concurrency // n_app),  # ceil division
+                self.min_db_connections,
+                self.max_db_connections,
+            )
+            if force or self._drifted(current, per_app):
+                self.actuator.set_db_connections(per_app)
+            return
+        if self._should_explore(DB, est):
+            target = min(self.max_db_connections, self._probe_up(current))
+            if target != current:
+                self.actuator.set_db_connections(target)
+            return
+        relaxed = self._maybe_relax(DB, current, self.actuator.app.soft.db_connections)
+        if relaxed != current:
+            self.actuator.set_db_connections(relaxed)
+
+    def _adapt_app_per_server(self, est: TierEstimate, force: bool) -> bool:
+        """Give each app server its own actionable optimum.
+
+        Returns True when at least one server was individually
+        actuated; the caller then skips the uniform path this round.
+        Servers without an actionable estimate keep their current
+        limit (the relax/explore machinery still reaches them through
+        later uniform rounds if the whole tier stalls).
+        """
+        live = {s.name: s for s in self.actuator.app.tiers[APP].servers}
+        acted = False
+        for name, server_est in est.per_server.items():
+            server = live.get(name)
+            if server is None:
+                continue
+            if not (
+                server_est.saturation_observed and server_est.hardware_limited
+            ):
+                continue
+            target = self._clamp(
+                self._with_headroom(server_est.optimal),
+                self.min_app_threads,
+                self.max_app_threads,
+            )
+            if force or self._drifted(server.threads.limit, target):
+                self.actuator.set_app_threads_for(name, target)
+                acted = True
+        return acted
+
+    # ------------------------------------------------------------------
+    def _usable(self, est: TierEstimate | None) -> bool:
+        # Two guards against mis-actuation:
+        # 1. Without observed saturation the SCT optimum is only "the
+        #    largest concurrency seen so far"; applying it would cap the
+        #    system below its real capacity while load is still growing.
+        # 2. Without a hardware-limited plateau the curve is
+        #    contaminated by downstream congestion — the tier is not
+        #    the bottleneck, and the paper only adapts the bottleneck
+        #    tier's soft resources.
+        return est is not None and est.actionable
+
+    def _should_explore(self, tier: str, est: TierEstimate | None) -> bool:
+        """Detect "the optimum is above the current cap".
+
+        Once a cap is applied the SCT model can never observe
+        concurrency beyond it, so a cap that has become too low (e.g.
+        the dataset shrank and each request got cheaper — the Fig. 11
+        scenario) is invisible to plain estimation. The tell-tale
+        combination is: the throughput plateau extends all the way to
+        the cap (no descending stage observed), the plateau runs at
+        high utilisation of the tier's own hardware, and requests are
+        queueing at the admission point. Probing the cap upward is
+        self-correcting — as soon as the descending stage becomes
+        visible, the estimate turns actionable and clamps it back.
+        """
+        if est is None or est.saturation_observed or not est.plateau_hot:
+            return False
+        queued, capacity = self.actuator.app.admission_pressure(tier)
+        return capacity > 0 and queued >= 0.25 * capacity
+
+    def _probe_up(self, current: int) -> int:
+        """One upward exploration step (25 %, at least +2)."""
+        return max(current + 2, int(current * 1.25))
+
+    def _maybe_relax(self, tier: str, current: int, static_default: int) -> int:
+        """Gradually widen a previously applied cap when the tier has
+        genuinely stopped being the bottleneck, so a stale tight cap
+        cannot throttle the system indefinitely.
+
+        Relaxation requires the tier's recent CPU to be *cool* — a hot
+        tier whose estimate is merely unavailable this round keeps its
+        cap (loosening the bottleneck tier's concurrency under load is
+        exactly the failure mode ConScale exists to prevent). Grows
+        50 % per adaption round toward the static allocation, the
+        operator-chosen safe upper bound.
+        """
+        if current >= static_default:
+            return current
+        if self.warehouse.tier_cpu(tier, window=10.0) >= 0.5:
+            return current
+        return min(static_default, max(current + 1, int(current * 1.5)))
+
+    def _with_headroom(self, optimal: int) -> int:
+        """Estimated Q_lower plus the actuation headroom, rounded up."""
+        return max(1, int(-(-optimal * self.headroom // 1)))
+
+    def _drifted(self, current: int, target: int) -> bool:
+        if current <= 0:
+            return True
+        return abs(target - current) / current > self.hysteresis
+
+    @staticmethod
+    def _clamp(value: int, lo: int, hi: int) -> int:
+        return max(lo, min(hi, value))

@@ -1,0 +1,76 @@
+"""The Decision Controller loop shared by all scaling frameworks."""
+
+from __future__ import annotations
+
+from repro.monitoring.warehouse import MetricWarehouse
+from repro.scaling.actuator import Actuator
+from repro.scaling.policy import ThresholdPolicy, TierPolicyConfig
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+__all__ = ["BaseController"]
+
+
+class BaseController:
+    """Threshold-driven hardware scaling at a 1 s decision tick.
+
+    Subclasses implement the soft-resource behaviour by overriding
+    :meth:`after_hardware_change` (invoked when a scale-out completes or
+    a scale-in finishes draining) and :meth:`periodic_adapt` (invoked on
+    every tick after the hardware decisions).
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        warehouse: MetricWarehouse,
+        actuator: Actuator,
+        tier_configs: dict[str, TierPolicyConfig] | None = None,
+        tick: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.warehouse = warehouse
+        self.actuator = actuator
+        configs = tier_configs or {
+            "app": TierPolicyConfig(),
+            "db": TierPolicyConfig(),
+        }
+        self.policy = ThresholdPolicy(sim, warehouse, actuator, configs)
+        actuator.on_hardware_change(self._hardware_changed)
+        self._process = PeriodicProcess(sim, tick, self._tick)
+
+    def stop(self) -> None:
+        """Stop the decision loop."""
+        self._process.stop()
+
+    # ------------------------------------------------------------------
+    def _tick(self, now: float) -> None:
+        for tier, config in self.policy.configs.items():
+            decision = self.policy.decide(tier)
+            if decision == "out":
+                # Vertical-first: grow an existing server's cores while
+                # room remains, otherwise fall back to adding a VM.
+                scaled_up = config.prefer_vertical and self.actuator.scale_up(
+                    tier, config.vertical_factor, config.max_vcpus
+                )
+                if not scaled_up:
+                    self.actuator.scale_out(tier)
+                self.policy.note_action(tier, "out")
+            elif decision == "in":
+                self.actuator.scale_in(tier)
+                self.policy.note_action(tier, "in")
+        self.periodic_adapt(now)
+
+    def _hardware_changed(self, tier: str, kind: str) -> None:
+        self.after_hardware_change(tier, kind)
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    def after_hardware_change(self, tier: str, kind: str) -> None:
+        """Soft-resource reaction to a completed hardware action."""
+
+    def periodic_adapt(self, now: float) -> None:
+        """Per-tick soft-resource adaption (ConScale's online path)."""

@@ -1,0 +1,23 @@
+"""EC2-AutoScaling: the hardware-only baseline.
+
+Scales VMs on CPU thresholds and never touches soft resources — every
+server keeps the static ``1000-60-40`` style allocation it was born
+with. This is the framework behind Fig. 1 and the left column of
+Fig. 10: when a Tomcat is added, the aggregate DB connection cap doubles
+and MySQL is pushed past its rational concurrency range.
+"""
+
+from __future__ import annotations
+
+from repro.scaling.controller import BaseController
+
+__all__ = ["EC2AutoScaling"]
+
+
+class EC2AutoScaling(BaseController):
+    """Threshold-based hardware scaling with static soft resources."""
+
+    name = "ec2-autoscaling"
+
+    # Both hooks intentionally inherit the no-op behaviour: the baseline
+    # performs no soft-resource adaption whatsoever.

@@ -1,0 +1,80 @@
+"""Server factory: how new VMs become component servers.
+
+The scenario configuration decides what hardware a tier's VMs have and
+how its servers behave (the :class:`~repro.ntier.capacity.CapacityModel`);
+the factory stamps out identically configured server instances whenever
+the actuator brings a VM online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.ntier.capacity import CapacityModel
+from repro.ntier.server import Server, ServerConfig
+from repro.sim.engine import Simulator
+
+__all__ = ["ServerFactory"]
+
+
+@dataclass(slots=True)
+class _TierTemplate:
+    capacity: CapacityModel
+    thread_limit: int
+
+
+class ServerFactory:
+    """Creates servers for each tier from per-tier templates."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._templates: dict[str, _TierTemplate] = {}
+        self._counters: dict[str, int] = {}
+
+    def set_template(
+        self, tier: str, capacity: CapacityModel, thread_limit: int
+    ) -> None:
+        """Define (or replace) the template for one tier.
+
+        Replacing a template only affects servers created afterwards —
+        the vertical-scaling experiments swap in a scaled capacity
+        model mid-run.
+        """
+        if thread_limit < 1:
+            raise ConfigurationError(
+                f"thread_limit must be >= 1, got {thread_limit!r}"
+            )
+        self._templates[tier] = _TierTemplate(capacity, thread_limit)
+
+    def thread_limit(self, tier: str) -> int:
+        """Current template thread limit for a tier."""
+        return self._template(tier).thread_limit
+
+    def set_thread_limit(self, tier: str, limit: int) -> None:
+        """Update the template limit so future servers start with it."""
+        tpl = self._template(tier)
+        if limit < 1:
+            raise ConfigurationError(f"thread_limit must be >= 1, got {limit!r}")
+        self._templates[tier] = _TierTemplate(tpl.capacity, int(limit))
+
+    def create(self, tier: str) -> Server:
+        """Instantiate the next server of a tier."""
+        tpl = self._template(tier)
+        n = self._counters.get(tier, 0) + 1
+        self._counters[tier] = n
+        config = ServerConfig(
+            name=f"{tier}-{n}",
+            tier=tier,
+            capacity=tpl.capacity,
+            thread_limit=tpl.thread_limit,
+        )
+        return Server(self.sim, config)
+
+    def _template(self, tier: str) -> _TierTemplate:
+        try:
+            return self._templates[tier]
+        except KeyError:
+            raise ConfigurationError(
+                f"no server template for tier {tier!r}; call set_template first"
+            ) from None

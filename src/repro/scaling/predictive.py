@@ -1,0 +1,83 @@
+"""Proactive (predictive) hardware scaling — the related-work baseline.
+
+The paper's related work ([6] Gandhi et al., [7] Han et al.) scales
+*ahead* of the load by forecasting near-future demand. This controller
+implements the standard lightweight version: fit a linear trend to each
+tier's recent CPU utilisation and scale out as soon as the utilisation
+*projected one provisioning lead-time ahead* crosses the threshold —
+instead of waiting for the current utilisation to cross it.
+
+Like EC2-AutoScaling it is hardware-only (no soft-resource adaption),
+so it inherits the concurrency-collapse problem the paper demonstrates;
+it simply pays for VMs earlier. The paper's position — that prediction
+cannot remove temporary overloading for bursty n-tier workloads, so
+fast *reactive* concurrency adaption is needed — is exactly what the
+``bench_predictive_baseline`` comparison probes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.monitoring.warehouse import MetricWarehouse
+from repro.scaling.actuator import Actuator
+from repro.scaling.controller import BaseController
+from repro.scaling.policy import TierPolicyConfig
+from repro.sim.engine import Simulator
+
+__all__ = ["PredictiveAutoScaling"]
+
+
+class PredictiveAutoScaling(BaseController):
+    """Trend-extrapolating hardware-only autoscaler."""
+
+    name = "predictive"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        warehouse: MetricWarehouse,
+        actuator: Actuator,
+        tier_configs: dict[str, TierPolicyConfig] | None = None,
+        tick: float = 1.0,
+        trend_window: float = 30.0,
+        lead_time: float | None = None,
+        arm_threshold: float = 0.45,
+    ) -> None:
+        super().__init__(sim, warehouse, actuator, tier_configs, tick)
+        self.trend_window = float(trend_window)
+        # Forecast horizon: the VM preparation period plus one decision
+        # tick, unless overridden.
+        self.lead_time = (
+            float(lead_time)
+            if lead_time is not None
+            else actuator.hypervisor.prep_period + tick
+        )
+        # Don't act on extrapolation alone when the tier is still cold;
+        # a steep trend from 5% to 10% CPU is noise, not a burst.
+        self.arm_threshold = float(arm_threshold)
+
+    def predicted_cpu(self, tier: str) -> float:
+        """Linear-trend forecast of the tier's CPU one lead-time ahead.
+
+        Returns 0.0 while fewer than three samples exist.
+        """
+        samples = self.warehouse.samples(self.trend_window, tier)
+        if len(samples) < 3:
+            return 0.0
+        t = np.array([s.t_end for s in samples])
+        u = np.array([s.cpu for s in samples])
+        slope, intercept = np.polyfit(t - t[-1], u, 1)
+        return float(max(0.0, intercept + slope * self.lead_time))
+
+    def periodic_adapt(self, now: float) -> None:
+        """Proactive scale-outs on top of the reactive policy."""
+        for tier, config in self.policy.configs.items():
+            if not self.policy.can_scale_out(tier):
+                continue
+            current = self.warehouse.tier_cpu(tier, config.out_window)
+            if current < self.arm_threshold:
+                continue
+            if self.predicted_cpu(tier) > config.high_threshold:
+                self.actuator.scale_out(tier)
+                self.policy.note_action(tier, "out")

@@ -1,0 +1,20 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event-calendar simulator:
+
+* :class:`~repro.sim.engine.Simulator` — the clock and run loop.
+* :class:`~repro.sim.event.EventHandle` — a cancellable scheduled callback.
+* :class:`~repro.sim.process.PeriodicProcess` — a fixed-interval task
+  (used for controller ticks and metric collection).
+
+The engine is deliberately callback-based (no coroutines): the n-tier
+model schedules only a handful of event types per request, and plain
+callbacks keep the hot path allocation-light, per the profiling guidance
+in the HPC Python guides.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.event import EventHandle
+from repro.sim.process import PeriodicProcess
+
+__all__ = ["Simulator", "EventHandle", "PeriodicProcess"]

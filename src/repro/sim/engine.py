@@ -1,0 +1,126 @@
+"""The simulator clock and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import ScheduleError, SimulationError
+from repro.sim.event import EventHandle
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, my_callback, arg1, arg2)
+        sim.run(until=100.0)
+
+    Callbacks run in (time, schedule-order) order. The clock only moves
+    forward; scheduling in the past raises :class:`ScheduleError`.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._executed = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of non-cancelled events still in the calendar."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute ``time``.
+
+        Returns a handle that may be cancelled before it fires.
+        """
+        if time < self._now:
+            raise ScheduleError(
+                f"cannot schedule at t={time:.6f}: clock is at t={self._now:.6f}"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_after(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` after a relative ``delay`` >= 0."""
+        if delay < 0:
+            raise ScheduleError(f"negative delay {delay!r}")
+        return self.schedule(self._now + delay, callback, *args)
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Execute events until the calendar drains, ``until`` is reached,
+        or ``max_events`` callbacks have run.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        on return even if the calendar drained earlier, so periodic
+        processes observe a consistent end time.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered; the simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        budget = max_events if max_events is not None else -1
+        heap = self._heap
+        try:
+            while heap and not self._stopped:
+                ev = heap[0]
+                if ev.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(heap)
+                self._now = ev.time
+                ev.callback(*ev.args)
+                self._executed += 1
+                if budget > 0:
+                    budget -= 1
+                    if budget == 0:
+                        break
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current callback."""
+        self._stopped = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Simulator(now={self._now:.6f}, pending={len(self._heap)}, "
+            f"executed={self._executed})"
+        )

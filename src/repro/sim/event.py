@@ -1,0 +1,49 @@
+"""Scheduled-event bookkeeping for the simulator."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["EventHandle"]
+
+
+class EventHandle:
+    """A cancellable reference to one scheduled callback.
+
+    Handles are returned by :meth:`repro.sim.engine.Simulator.schedule`.
+    Cancellation is *lazy*: the calendar entry stays in the heap and is
+    discarded when popped, which is far cheaper than heap surgery — the
+    n-tier server model cancels and reschedules its next-completion event
+    on every arrival/departure.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so the run loop skips it. Idempotent."""
+        self.cancelled = True
+
+    # Heap ordering: by time, ties broken by schedule order so that the
+    # simulation is fully deterministic.
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"EventHandle(t={self.time:.6f}, {name}, {state})"

@@ -1,0 +1,31 @@
+"""Time-unit helpers.
+
+All simulator timestamps are floats measured in **seconds**. The paper
+works at several granularities at once — 50 ms monitoring intervals,
+1 s warehouse ticks, 15 s VM preparation periods, 12-minute runs — so
+these tiny constructors keep call sites self-describing
+(``ms(50)`` rather than a bare ``0.05``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ms", "seconds", "minutes", "MILLISECOND", "SECOND", "MINUTE"]
+
+MILLISECOND: float = 1e-3
+SECOND: float = 1.0
+MINUTE: float = 60.0
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to simulator seconds."""
+    return value * MILLISECOND
+
+
+def seconds(value: float) -> float:
+    """Identity helper for symmetry with :func:`ms` / :func:`minutes`."""
+    return value * SECOND
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to simulator seconds."""
+    return value * MINUTE

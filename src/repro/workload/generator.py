@@ -1,0 +1,244 @@
+"""Request generators driving the n-tier application.
+
+Two client models, matching the paper's two experimental setups:
+
+* :class:`OpenLoopGenerator` — Poisson arrivals whose rate follows a
+  user trace divided by the mean think time. This is the production/
+  evaluation workload ("a request rate that follows a Poisson
+  distribution to simulate a number of concurrent users").
+* :class:`ClosedLoopGenerator` — a fixed population of users that
+  re-issue immediately (or after a think time) when their previous
+  request completes. With zero think time this is the paper's modified
+  generator for the concurrency sweeps of Fig. 3/7, where the offered
+  concurrency is controlled exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ntier.app import NTierApplication
+from repro.ntier.request import Request
+from repro.sim.engine import Simulator
+from repro.workload.mixes import WorkloadMix
+from repro.workload.trace import Trace
+
+__all__ = ["RequestFactory", "OpenLoopGenerator", "ClosedLoopGenerator"]
+
+# Re-evaluate the arrival rate at least this often even when the
+# instantaneous rate is very low, so bursts are never missed.
+_MAX_GAP = 0.5
+
+
+class RequestFactory:
+    """Creates requests with demands drawn from a workload mix."""
+
+    def __init__(
+        self,
+        mix: WorkloadMix,
+        rng: np.random.Generator,
+        dataset_scale: float = 1.0,
+        demand_scale: float = 1.0,
+    ) -> None:
+        if dataset_scale <= 0 or demand_scale <= 0:
+            raise ConfigurationError("dataset_scale and demand_scale must be > 0")
+        self.mix = mix
+        self.rng = rng
+        self.dataset_scale = dataset_scale
+        self.demand_scale = demand_scale
+        self._next_id = 0
+
+    def create(self, now: float) -> Request:
+        """Draw an interaction and build a request arriving at ``now``."""
+        name = self.mix.sample_interaction(self.rng)
+        demands = self.mix.profile(name).draw(
+            self.rng, self.dataset_scale, self.demand_scale
+        )
+        req = Request(
+            req_id=self._next_id, interaction=name, arrival=now, demands=demands
+        )
+        self._next_id += 1
+        return req
+
+
+class OpenLoopGenerator:
+    """Nonhomogeneous-Poisson arrivals following a user trace.
+
+    The instantaneous arrival rate is ``users(t) / think_time``. Gaps
+    are drawn from the rate at the previous arrival and capped at
+    ``0.5 s`` so the rate is re-sampled through fast bursts; over the
+    5 s knot spacing of the built-in traces this is an accurate
+    piecewise approximation of the exact thinning construction.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        app: NTierApplication,
+        trace: Trace,
+        factory: RequestFactory,
+        rng: np.random.Generator,
+        think_time: float = 2.0,
+    ) -> None:
+        if think_time <= 0:
+            raise ConfigurationError(f"think_time must be > 0, got {think_time!r}")
+        self.sim = sim
+        self.app = app
+        self.trace = trace
+        self.factory = factory
+        self.rng = rng
+        self.think_time = think_time
+        self.generated = 0
+        self._stopped = False
+
+    def start(self) -> None:
+        """Begin generating at the current simulation time."""
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop generating new arrivals (in-flight requests finish)."""
+        self._stopped = True
+
+    def rate_at(self, t: float) -> float:
+        """Arrival rate (requests/second) implied by the trace at ``t``."""
+        return self.trace.users_at(t) / self.think_time
+
+    def _schedule_next(self) -> None:
+        if self._stopped:
+            return
+        now = self.sim.now
+        if now >= self.trace.duration:
+            return
+        rate = self.rate_at(now)
+        if rate <= 1e-9:
+            self.sim.schedule_after(_MAX_GAP, self._tick_idle)
+            return
+        gap = float(self.rng.exponential(1.0 / rate))
+        if gap > _MAX_GAP:
+            self.sim.schedule_after(_MAX_GAP, self._tick_idle)
+        else:
+            self.sim.schedule_after(gap, self._arrive)
+
+    def _tick_idle(self) -> None:
+        # No arrival happened in this re-evaluation slot; just resample.
+        self._schedule_next()
+
+    def _arrive(self) -> None:
+        if self._stopped:
+            return
+        req = self.factory.create(self.sim.now)
+        self.generated += 1
+        self.app.submit(req)
+        self._schedule_next()
+
+
+class ClosedLoopGenerator:
+    """A fixed population of synchronous users.
+
+    Each user loops submit → wait for completion → think → submit.
+    ``think_time = 0`` pins the system concurrency to exactly
+    ``num_users`` (the Fig. 3/7 sweep mode); a positive value draws
+    exponential think times.
+
+    ``timeout`` models client abandonment: a user whose request has not
+    completed within the timeout gives up and immediately re-issues.
+    The abandoned request keeps consuming server resources until it
+    finishes (as a real HTTP request does after the client hangs up),
+    which is what makes tight client timeouts *amplify* overload —
+    the classic retry-storm dynamic.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        app: NTierApplication,
+        num_users: int,
+        factory: RequestFactory,
+        rng: np.random.Generator,
+        think_time: float = 0.0,
+        timeout: float | None = None,
+    ) -> None:
+        if num_users < 1:
+            raise ConfigurationError(f"num_users must be >= 1, got {num_users!r}")
+        if think_time < 0:
+            raise ConfigurationError(f"think_time must be >= 0, got {think_time!r}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {timeout!r}")
+        self.sim = sim
+        self.app = app
+        self.num_users = num_users
+        self.factory = factory
+        self.rng = rng
+        self.think_time = think_time
+        self.timeout = timeout
+        self.generated = 0
+        self.timeouts = 0
+        self._stopped = False
+        self._pending: dict[int, object] = {}
+        app.on_complete(self._on_complete)
+
+    def start(self, ramp: float = 0.0) -> None:
+        """Launch all users, optionally staggered over ``ramp`` seconds."""
+        for i in range(self.num_users):
+            delay = (ramp * i / self.num_users) if ramp > 0 else 0.0
+            self.sim.schedule_after(delay, self._issue)
+
+    def stop(self) -> None:
+        """Users stop re-issuing after their current request."""
+        self._stopped = True
+
+    def set_population(self, num_users: int) -> None:
+        """Grow the user population at runtime (sweep support).
+
+        Shrinking is not supported: completed users simply stop
+        re-issuing when the population target is below the live count.
+        """
+        if num_users < 1:
+            raise ConfigurationError(f"num_users must be >= 1, got {num_users!r}")
+        extra = num_users - self.num_users
+        self.num_users = num_users
+        for _ in range(max(0, extra)):
+            self.sim.schedule_after(0.0, self._issue)
+
+    def _issue(self) -> None:
+        if self._stopped:
+            return
+        if len(self._pending) >= self.num_users:
+            return  # population was shrunk; retire this user
+        req = self.factory.create(self.sim.now)
+        self.generated += 1
+        handle = None
+        if self.timeout is not None:
+            handle = self.sim.schedule_after(
+                self.timeout, self._abandon, req.req_id
+            )
+        self._pending[req.req_id] = handle
+        self.app.submit(req)
+
+    def _abandon(self, req_id: int) -> None:
+        """The user gave up waiting; the request stays in the system."""
+        if req_id not in self._pending:
+            return  # completed in the same instant
+        del self._pending[req_id]
+        self.timeouts += 1
+        self._next_cycle()
+
+    def _on_complete(self, request: Request) -> None:
+        handle = self._pending.pop(request.req_id, "absent")
+        if handle == "absent":
+            return  # not ours, or already abandoned by its user
+        if handle is not None:
+            handle.cancel()
+        self._next_cycle()
+
+    def _next_cycle(self) -> None:
+        if self._stopped:
+            return
+        if self.think_time == 0.0:
+            self._issue()
+        else:
+            delay = float(self.rng.exponential(self.think_time))
+            self.sim.schedule_after(delay, self._issue)

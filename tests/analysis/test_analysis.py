@@ -1,0 +1,109 @@
+"""Tests for the analysis helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import FrameworkResult, compare_frameworks, improvement
+from repro.analysis.series import coefficient_of_variation, moving_average
+from repro.analysis.stats import fluctuation_summary, spike_episodes, time_above
+from repro.errors import ReproError
+
+
+# ----------------------------------------------------------------------
+# series
+# ----------------------------------------------------------------------
+
+def test_moving_average_flat_series():
+    out = moving_average([5.0] * 10, window=3)
+    assert np.allclose(out, 5.0)
+
+
+def test_moving_average_skips_nan():
+    out = moving_average([1.0, math.nan, 3.0], window=3)
+    assert out[1] == pytest.approx(2.0)
+
+
+def test_moving_average_edges_unbiased():
+    out = moving_average([10.0, 10.0, 10.0, 10.0], window=5)
+    assert np.allclose(out, 10.0)  # shrinking edge windows, no zero-pad
+
+
+def test_moving_average_validation():
+    with pytest.raises(ReproError):
+        moving_average([1.0], window=0)
+    with pytest.raises(ReproError):
+        moving_average(np.zeros((2, 2)), window=3)
+
+
+def test_cov():
+    assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+    assert coefficient_of_variation([]) != coefficient_of_variation([])  # NaN
+    v = coefficient_of_variation([1.0, 3.0])
+    assert v == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# spikes
+# ----------------------------------------------------------------------
+
+def test_spike_episodes_basic():
+    t = [0, 1, 2, 3, 4, 5]
+    v = [1, 9, 9, 1, 9, 1]
+    eps = spike_episodes(t, v, threshold=5)
+    assert eps == [(1.0, 3.0), (4.0, 5.0)]
+
+
+def test_spike_open_ended():
+    eps = spike_episodes([0, 1, 2], [1, 9, 9], threshold=5)
+    assert eps == [(1.0, 2.0)]
+
+
+def test_spike_nan_breaks_episode():
+    eps = spike_episodes([0, 1, 2, 3], [9, math.nan, 9, 1], threshold=5)
+    assert len(eps) == 2
+
+
+def test_spike_shape_mismatch():
+    with pytest.raises(ReproError):
+        spike_episodes([0, 1], [1.0], threshold=5)
+
+
+def test_time_above():
+    t = list(range(10))
+    v = [0, 9, 9, 9, 0, 0, 9, 0, 0, 0]
+    assert time_above(t, v, 5) == pytest.approx(4.0)
+
+
+def test_fluctuation_summary():
+    t = [0, 1, 2, 3]
+    v = [0.1, 2.0, 0.1, 0.1]
+    s = fluctuation_summary(t, v, sla=0.5)
+    assert s.n_spikes == 1
+    assert s.worst_value == 2.0
+    assert s.time_above_sla == pytest.approx(1.0)
+    assert s.cov > 1.0
+
+
+# ----------------------------------------------------------------------
+# comparisons
+# ----------------------------------------------------------------------
+
+def test_improvement():
+    assert improvement(200.0, 100.0) == 2.0
+    with pytest.raises(ReproError):
+        improvement(1.0, 0.0)
+
+
+def test_compare_frameworks():
+    lat_bad = np.linspace(0.01, 2.0, 100)
+    lat_good = np.linspace(0.01, 0.5, 100)
+    results = [
+        FrameworkResult.from_latencies("ec2", "big_spike", lat_bad),
+        FrameworkResult.from_latencies("conscale", "big_spike", lat_good),
+    ]
+    table = compare_frameworks(results, baseline="ec2")
+    row = table[("conscale", "big_spike")]
+    assert row["p99_improvement"] == pytest.approx(4.0, rel=0.05)
+    assert "p99_improvement" not in table[("ec2", "big_spike")]

@@ -1,0 +1,112 @@
+"""Tests for the VM lifecycle and the hypervisor."""
+
+import pytest
+
+from repro.cloud.hypervisor import Hypervisor
+from repro.cloud.vm import VM, VmState
+from repro.errors import CloudError
+from repro.sim.engine import Simulator
+
+
+# ----------------------------------------------------------------------
+# VM state machine
+# ----------------------------------------------------------------------
+
+def test_lifecycle_happy_path():
+    vm = VM("db-vm1", "db")
+    assert vm.state is VmState.PROVISIONING
+    vm.transition(VmState.RUNNING, now=15.0)
+    assert vm.ready_at == 15.0
+    vm.transition(VmState.DRAINING, now=100.0)
+    vm.transition(VmState.STOPPED, now=110.0)
+    assert vm.stopped_at == 110.0
+
+
+def test_illegal_transitions():
+    vm = VM("v", "db")
+    with pytest.raises(CloudError):
+        vm.transition(VmState.DRAINING, 0.0)  # provisioning -> draining
+    vm.transition(VmState.RUNNING, 0.0)
+    with pytest.raises(CloudError):
+        vm.transition(VmState.PROVISIONING, 0.0)
+    vm.transition(VmState.STOPPED, 1.0)
+    with pytest.raises(CloudError):
+        vm.transition(VmState.RUNNING, 2.0)
+
+
+def test_billable():
+    vm = VM("v", "db")
+    assert vm.is_billable
+    vm.transition(VmState.RUNNING, 0.0)
+    assert vm.is_billable
+    vm.transition(VmState.STOPPED, 1.0)
+    assert not vm.is_billable
+
+
+# ----------------------------------------------------------------------
+# hypervisor
+# ----------------------------------------------------------------------
+
+def test_launch_takes_prep_period():
+    sim = Simulator()
+    hv = Hypervisor(sim, prep_period=15.0)
+    ready = []
+    vm = hv.launch("db", ready.append)
+    assert vm.state is VmState.PROVISIONING
+    sim.run(until=14.0)
+    assert ready == []
+    sim.run(until=16.0)
+    assert ready == [vm]
+    assert vm.state is VmState.RUNNING
+    assert vm.ready_at == pytest.approx(15.0)
+
+
+def test_launch_prep_override():
+    sim = Simulator()
+    hv = Hypervisor(sim, prep_period=15.0)
+    ready = []
+    hv.launch("db", ready.append, prep_period=2.0)
+    sim.run(until=3.0)
+    assert len(ready) == 1
+
+
+def test_stop_aborts_provisioning():
+    sim = Simulator()
+    hv = Hypervisor(sim, prep_period=15.0)
+    ready = []
+    vm = hv.launch("db", ready.append)
+    sim.run(until=5.0)
+    hv.stop(vm)
+    sim.run()
+    assert ready == []
+    assert vm.state is VmState.STOPPED
+
+
+def test_counts():
+    sim = Simulator()
+    hv = Hypervisor(sim, prep_period=10.0)
+    vms = [hv.launch("db", lambda v: None) for _ in range(3)]
+    hv.launch("app", lambda v: None)
+    assert hv.billable_count() == 4
+    assert hv.billable_count("db") == 3
+    assert hv.provisioning_count("db") == 3
+    sim.run(until=11.0)
+    assert hv.provisioning_count("db") == 0
+    hv.stop(vms[0].__class__ and vms[0])
+    assert hv.billable_count("db") == 2
+
+
+def test_vm_names_unique_and_lookup():
+    sim = Simulator()
+    hv = Hypervisor(sim)
+    a = hv.launch("db", lambda v: None)
+    b = hv.launch("db", lambda v: None)
+    assert a.name != b.name
+    assert hv.vm(a.name) is a
+    with pytest.raises(CloudError):
+        hv.vm("ghost")
+
+
+def test_negative_prep_rejected():
+    with pytest.raises(CloudError):
+        Hypervisor(Simulator(), prep_period=-1.0)

@@ -1,0 +1,74 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ntier.app import NTierApplication, SoftResourceAllocation
+from repro.ntier.capacity import CapacityModel, ContentionModel, Resource
+from repro.ntier.server import Server, ServerConfig
+from repro.rng import RngRegistry
+from repro.sim.engine import Simulator
+from repro.workload.mixes import WorkloadMix
+
+
+def simple_capacity(
+    a_sat: float = 10.0,
+    cores: float = 1.0,
+    sigma: float = 0.0,
+    kappa: float = 0.0,
+) -> CapacityModel:
+    """A one-resource capacity model saturating at ``a_sat * cores``."""
+    return CapacityModel(
+        [Resource("cpu", cores, 1.0 / a_sat)],
+        ContentionModel(sigma=sigma, kappa=kappa),
+    )
+
+
+def build_app(
+    sim: Simulator,
+    soft: SoftResourceAllocation | None = None,
+    web_a_sat: float = 1000.0,
+    app_a_sat: float = 1000.0,
+    db_a_sat: float = 10.0,
+    db_kappa: float = 0.0,
+) -> NTierApplication:
+    """A 1/1/1 application with an easily saturated DB tier."""
+    soft = soft or SoftResourceAllocation(1000, 100, 50)
+    app = NTierApplication(sim, soft)
+    app.attach_server(
+        Server(sim, ServerConfig("web-1", "web", simple_capacity(web_a_sat), soft.web_threads))
+    )
+    app.attach_server(
+        Server(sim, ServerConfig("app-1", "app", simple_capacity(app_a_sat), soft.app_threads))
+    )
+    app.attach_server(
+        Server(
+            sim,
+            ServerConfig(
+                "db-1", "db", simple_capacity(db_a_sat, kappa=db_kappa), 100_000
+            ),
+        )
+    )
+    return app
+
+
+def tiny_mix(
+    web: float = 0.0005, app: float = 0.002, db: float = 0.005, cv: float = 0.0
+) -> WorkloadMix:
+    """A single-interaction deterministic-demand mix for exact checks."""
+    return WorkloadMix(
+        "tiny",
+        {"ViewStory": 1.0},
+        {"web": (web, cv), "app": (app, cv), "db": (db, cv)},
+    )
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    return RngRegistry(1234)

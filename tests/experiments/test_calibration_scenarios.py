@@ -1,0 +1,120 @@
+"""Tests for the calibration anchors and scenario configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.calibration import (
+    Calibration,
+    ample_capacity,
+    app_capacity,
+    db_capacity_cpu,
+    db_capacity_io,
+    default_calibration,
+    web_capacity,
+)
+from repro.experiments.scenarios import ScenarioConfig
+
+
+# ----------------------------------------------------------------------
+# calibration anchors (the paper's measured numbers)
+# ----------------------------------------------------------------------
+
+def test_mysql_qlower_anchor():
+    assert db_capacity_cpu(1.0).saturation_concurrency == pytest.approx(10.0)
+    assert db_capacity_cpu(2.0).saturation_concurrency == pytest.approx(20.0)
+
+
+def test_mysql_io_anchor():
+    cap = db_capacity_io(1.0)
+    assert cap.critical_resource.name == "disk"
+    assert cap.saturation_concurrency == pytest.approx(5.0)
+
+
+def test_tomcat_dataset_anchor():
+    base = app_capacity(1.0, 1.0).saturation_concurrency
+    enlarged = app_capacity(1.0, 2.0).saturation_concurrency
+    reduced = app_capacity(1.0, 0.5).saturation_concurrency
+    assert base == pytest.approx(20.0)
+    assert enlarged == pytest.approx(base / 2**0.5, rel=0.01)
+    assert reduced == pytest.approx(base * 2**0.5, rel=0.01)
+
+
+def test_web_is_not_a_bottleneck():
+    assert web_capacity().saturation_concurrency >= 100
+
+
+def test_ample_capacity_is_huge():
+    assert ample_capacity().saturation_concurrency >= 1000
+
+
+def test_descending_stage_severity():
+    """Two Tomcats' worth of default conns (~80) on one MySQL must cost
+    at least half its peak capacity — the Fig. 10 collapse."""
+    cap = db_capacity_cpu(1.0)
+    assert cap.contention.penalty(80) < 0.5
+    assert cap.contention.penalty(12) > 0.9
+
+
+def test_calibration_capacity_builder():
+    cal = Calibration(io_intensive=True)
+    assert cal.capacity("db").critical_resource.name == "disk"
+    cal2 = Calibration(db_cores=2.0)
+    assert cal2.capacity("db").saturation_concurrency == pytest.approx(20.0)
+    with pytest.raises(KeyError):
+        cal.capacity("cache")
+
+
+def test_default_calibration_tiers_balanced():
+    """App and DB single-server peak throughputs must be within ~2x so
+    both tiers scale during the evaluation runs (as in the paper)."""
+    cal = default_calibration()
+    from repro.workload.mixes import browse_only_mix
+
+    mix = browse_only_mix(cal.base_demands)
+    _, tp_db = cal.capacity("db").peak(mix.mean_demand("db"))
+    _, tp_app = cal.capacity("app").peak(mix.mean_demand("app"))
+    assert 0.5 < tp_app / tp_db < 2.0
+
+
+# ----------------------------------------------------------------------
+# scenario config
+# ----------------------------------------------------------------------
+
+def test_scenario_defaults():
+    cfg = ScenarioConfig()
+    assert cfg.topology == (1, 1, 1)
+    assert cfg.soft.web_threads == 1000
+    assert cfg.soft.app_threads == 60
+    assert cfg.soft.db_connections == 40
+
+
+def test_scenario_load_scaling_contract():
+    cfg = ScenarioConfig(load_scale=25.0, max_users=7500.0)
+    assert cfg.scaled_users == 300.0
+    assert cfg.demand_scale == 25.0
+    assert cfg.rt_scale == 25.0
+
+
+def test_fine_interval_scales_with_sqrt():
+    assert ScenarioConfig(load_scale=1.0).effective_fine_interval() == pytest.approx(0.05)
+    assert ScenarioConfig(load_scale=25.0).effective_fine_interval() == pytest.approx(0.25)
+    assert ScenarioConfig(
+        load_scale=25.0, fine_interval=0.1
+    ).effective_fine_interval() == 0.1
+
+
+def test_scenario_validation():
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(load_scale=0.5)
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(workload_mode="mixed")
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(duration=0.0)
+
+
+def test_with_update():
+    cfg = ScenarioConfig().with_(seed=9, trace_name="big_spike")
+    assert cfg.seed == 9
+    assert cfg.trace_name == "big_spike"
+    # original untouched (frozen)
+    assert ScenarioConfig().seed == 1

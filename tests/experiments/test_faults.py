@@ -1,0 +1,93 @@
+"""Tests for slow-node fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.faults import inject_slow_node
+from repro.ntier.app import DB
+from repro.ntier.server import Server, ServerConfig
+from repro.rng import RngRegistry
+from repro.sim.engine import Simulator
+from repro.workload.generator import ClosedLoopGenerator, RequestFactory
+
+from tests.conftest import build_app, simple_capacity, tiny_mix
+
+
+def test_validation():
+    sim = Simulator()
+    server = Server(sim, ServerConfig("db-1", "db", simple_capacity(), 10))
+    with pytest.raises(ExperimentError):
+        inject_slow_node(sim, server, at=1.0, slowdown=1.0)
+    with pytest.raises(ExperimentError):
+        inject_slow_node(sim, server, at=1.0, duration=0.0)
+
+
+def test_capacity_degrades_and_restores():
+    sim = Simulator()
+    server = Server(sim, ServerConfig("db-1", "db", simple_capacity(8), 10))
+    fault = inject_slow_node(sim, server, at=5.0, slowdown=4.0, duration=10.0)
+    sim.run(until=6.0)
+    assert fault.active
+    assert server.capacity.saturation_concurrency == pytest.approx(2.0)
+    sim.run(until=16.0)
+    assert fault.ended and not fault.active
+    assert server.capacity.saturation_concurrency == pytest.approx(8.0)
+    assert fault.window == (5.0, 15.0)
+
+
+def test_slow_node_raises_latency_then_recovers():
+    sim = Simulator()
+    app = build_app(sim, db_a_sat=10.0)
+    rng = RngRegistry(3)
+    latencies: list[tuple[float, float]] = []
+    app.on_complete(lambda r: latencies.append((r.completion, r.response_time)))
+    ClosedLoopGenerator(
+        sim, app, 8, RequestFactory(tiny_mix(cv=0.0), rng.stream("d")),
+        rng.stream("u"), think_time=0.0,
+    ).start()
+    db = app.tiers[DB].servers[0]
+    inject_slow_node(sim, db, at=10.0, slowdown=8.0, duration=10.0)
+    sim.run(until=35.0)
+
+    def mean_rt(t0, t1):
+        vals = [rt for (t, rt) in latencies if t0 <= t < t1]
+        return float(np.mean(vals))
+
+    before = mean_rt(2.0, 10.0)
+    during = mean_rt(12.0, 20.0)
+    after = mean_rt(25.0, 35.0)
+    assert during > 3.0 * before
+    assert after == pytest.approx(before, rel=0.2)
+
+
+def test_leastconn_sheds_load_from_slow_replica():
+    """With two DB replicas and leastconn, the degraded one serves a
+    much smaller share of the completions during the fault window."""
+    from repro.ntier.app import NTierApplication, SoftResourceAllocation
+
+    sim = Simulator()
+    soft = SoftResourceAllocation(10_000, 10_000, 10_000)
+    app = NTierApplication(sim, soft)
+    for name, tier, a_sat in [
+        ("web-1", "web", 1000), ("app-1", "app", 1000),
+        ("db-1", "db", 10), ("db-2", "db", 10),
+    ]:
+        app.attach_server(
+            Server(sim, ServerConfig(name, tier, simple_capacity(a_sat), 100_000))
+        )
+    rng = RngRegistry(5)
+    ClosedLoopGenerator(
+        sim, app, 16, RequestFactory(tiny_mix(cv=0.0), rng.stream("d")),
+        rng.stream("u"), think_time=0.0,
+    ).start()
+    db1, db2 = app.tiers[DB].servers
+    fault = inject_slow_node(sim, db1, at=10.0, slowdown=8.0, duration=20.0)
+    sim.run(until=10.0)
+    c1_start, c2_start = db1.completions, db2.completions
+    sim.run(until=30.0)
+    slow_share = (db1.completions - c1_start) / max(
+        1, (db1.completions - c1_start) + (db2.completions - c2_start)
+    )
+    assert slow_share < 0.35, f"slow replica still served {slow_share:.0%}"
+    assert fault.ended

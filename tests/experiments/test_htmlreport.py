@@ -1,0 +1,122 @@
+"""Tests for the HTML/SVG report generator."""
+
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.htmlreport import (
+    render_html_report,
+    svg_line_chart,
+    write_html_report,
+)
+
+
+def make_summary(framework="ec2", p99=300.0):
+    return {
+        "framework": framework,
+        "scenario": {
+            "name": "t", "trace": "dual_phase", "seed": 3,
+            "duration_s": 200.0, "load_scale": 50.0, "max_users": 7500.0,
+            "workload_mode": "browse", "topology": [1, 1, 1],
+            "soft": [1000, 60, 40],
+        },
+        "requests": {"generated": 1000, "completed": 990},
+        "tail_ms": {"mean": 50.0, "p50": 30.0, "p95": 120.0, "p99": p99,
+                    "max": 900.0},
+        "timeline": [
+            {"t": float(t), "throughput_rps": 100.0 + t,
+             "mean_rt_ms": 30.0, "p95_rt_ms": 40.0 + (t % 3) * 10}
+            for t in range(0, 200, 5)
+        ],
+        "vms": {"t": [float(t) for t in range(0, 200, 10)],
+                "count": [3 + t // 50 for t in range(0, 200, 10)]},
+        "actions": [],
+        "estimates": {},
+    }
+
+
+# ----------------------------------------------------------------------
+# svg chart
+# ----------------------------------------------------------------------
+
+def test_svg_chart_is_valid_xml():
+    svg = svg_line_chart(
+        [("a", [0, 1, 2], [1.0, 2.0, 3.0]), ("b", [0, 1, 2], [3.0, 2.0, 1.0])],
+        "demo", "x", "y",
+    )
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+    polylines = root.findall(".//{http://www.w3.org/2000/svg}polyline")
+    assert len(polylines) == 2
+
+
+def test_svg_chart_breaks_on_nan():
+    svg = svg_line_chart(
+        [("a", [0, 1, 2, 3, 4], [1.0, 2.0, math.nan, 4.0, 5.0])],
+        "gaps", "x", "y",
+    )
+    root = ET.fromstring(svg)
+    polylines = root.findall(".//{http://www.w3.org/2000/svg}polyline")
+    assert len(polylines) == 2  # one gap -> two segments
+
+
+def test_svg_chart_escapes_labels():
+    svg = svg_line_chart([("a<b>", [0, 1], [1.0, 2.0])], 'x "quoted"', "x", "y")
+    assert "a&lt;b&gt;" in svg
+    ET.fromstring(svg)
+
+
+def test_svg_chart_validation():
+    with pytest.raises(ExperimentError):
+        svg_line_chart([], "t", "x", "y")
+    with pytest.raises(ExperimentError):
+        svg_line_chart([("a", [0.0], [math.nan])], "t", "x", "y")
+
+
+# ----------------------------------------------------------------------
+# full report
+# ----------------------------------------------------------------------
+
+def test_report_contains_table_and_charts():
+    page = render_html_report(
+        [make_summary("ec2", 300.0), make_summary("conscale", 120.0)],
+        title="comparison",
+    )
+    assert "<table>" in page
+    assert page.count("<svg") == 3
+    assert "ec2" in page and "conscale" in page
+    assert "300.0" in page and "120.0" in page
+
+
+def test_report_validation():
+    with pytest.raises(ExperimentError):
+        render_html_report([])
+
+
+def test_write_report(tmp_path):
+    path = write_html_report(
+        [make_summary()], str(tmp_path / "out" / "report.html")
+    )
+    content = open(path).read()
+    assert content.startswith("<!DOCTYPE html>")
+    assert "</html>" in content
+
+
+def test_report_from_real_run(tmp_path):
+    from repro.experiments.persistence import result_summary
+    from repro.experiments.runner import run_experiment
+    from repro.experiments.scenarios import ScenarioConfig
+
+    config = ScenarioConfig(
+        name="html", trace_name="dual_phase", load_scale=150.0,
+        duration=120.0, seed=2,
+    )
+    summaries = [
+        result_summary(run_experiment(fw, config)) for fw in ("ec2", "conscale")
+    ]
+    path = write_html_report(summaries, str(tmp_path / "r.html"))
+    content = open(path).read()
+    assert content.count("<svg") == 3
+    assert "conscale" in content

@@ -1,0 +1,138 @@
+"""Tests for request logs, timelines, and tail-latency helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import MonitoringError
+from repro.monitoring.percentiles import percentile, tail_summary
+from repro.monitoring.records import RequestLog
+from repro.ntier.request import Request
+
+
+def completed_request(req_id, arrival, completion):
+    req = Request(req_id, "X", arrival, {})
+    req.completion = completion
+    return req
+
+
+def test_record_requires_completion():
+    log = RequestLog()
+    with pytest.raises(MonitoringError):
+        log.record(Request(0, "X", 0.0, {}))
+
+
+def test_record_and_arrays():
+    log = RequestLog()
+    log.record(completed_request(0, 0.0, 0.5))
+    log.record(completed_request(1, 1.0, 1.2))
+    assert len(log) == 2
+    assert list(log.response_times) == pytest.approx([0.5, 0.2])
+    assert list(log.completion_times) == [0.5, 1.2]
+    assert list(log.arrival_times) == [0.0, 1.0]
+
+
+def test_percentile_with_warmup_cutoff():
+    log = RequestLog()
+    log.record(completed_request(0, 0.0, 10.0))  # rt 10, completes at 10
+    for i in range(1, 11):
+        log.record(completed_request(i, 20.0, 20.0 + 0.1 * i))
+    # including warm-up, p99 is dominated by the 10 s outlier
+    assert log.percentile(99) > 5.0
+    # excluding it, all latencies <= 1.0
+    assert log.percentile(99, after=15.0) <= 1.0
+
+
+def test_percentile_empty_window_raises():
+    log = RequestLog()
+    with pytest.raises(MonitoringError):
+        log.percentile(95)
+    log.record(completed_request(0, 0.0, 1.0))
+    with pytest.raises(MonitoringError):
+        log.percentile(95, after=100.0)
+
+
+def test_timeline_bins():
+    log = RequestLog()
+    for i in range(10):
+        log.record(completed_request(i, 0.0, 0.5 + i))  # completes 0.5..9.5
+    bins = log.timeline(bin_width=5.0, duration=10.0)
+    assert len(bins) == 2
+    assert bins[0].completions == 5
+    assert bins[0].throughput == pytest.approx(1.0)
+    assert bins[1].completions == 5
+
+
+def test_timeline_empty_bins_are_nan():
+    log = RequestLog()
+    log.record(completed_request(0, 0.0, 0.5))
+    bins = log.timeline(bin_width=1.0, duration=3.0)
+    assert bins[0].completions == 1
+    assert math.isnan(bins[1].mean_rt)
+    assert bins[1].throughput == 0.0
+
+
+def test_timeline_validation():
+    with pytest.raises(MonitoringError):
+        RequestLog().timeline(bin_width=0.0)
+
+
+# ----------------------------------------------------------------------
+# percentiles helpers
+# ----------------------------------------------------------------------
+
+def test_percentile_helper():
+    assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+    with pytest.raises(MonitoringError):
+        percentile([], 50)
+    with pytest.raises(MonitoringError):
+        percentile([1.0], 150)
+
+
+def test_tail_summary_fields():
+    values = np.arange(1, 101, dtype=float)  # 1..100
+    t = tail_summary(values)
+    assert t.count == 100
+    assert t.mean == pytest.approx(50.5)
+    assert t.p50 == pytest.approx(50.5)
+    assert t.p95 == pytest.approx(95.05)
+    assert t.p99 == pytest.approx(99.01)
+    assert t.max == 100.0
+
+
+def test_tail_summary_empty_raises():
+    with pytest.raises(MonitoringError):
+        tail_summary([])
+
+
+def test_tail_summary_ordering_invariant():
+    rng = np.random.default_rng(0)
+    t = tail_summary(rng.exponential(1.0, 500))
+    assert t.p50 <= t.p95 <= t.p99 <= t.max
+
+
+def test_by_interaction_groups_latencies():
+    log = RequestLog()
+    for i, (name, rt) in enumerate(
+        [("ViewStory", 0.1), ("ViewStory", 0.2), ("SearchInStories", 0.9)]
+    ):
+        req = Request(i, name, 0.0, {})
+        req.completion = rt
+        log.record(req)
+    groups = log.by_interaction()
+    assert set(groups) == {"ViewStory", "SearchInStories"}
+    assert list(groups["ViewStory"]) == pytest.approx([0.1, 0.2])
+    assert list(groups["SearchInStories"]) == pytest.approx([0.9])
+
+
+def test_by_interaction_respects_warmup():
+    log = RequestLog()
+    early = Request(0, "ViewStory", 0.0, {})
+    early.completion = 1.0
+    late = Request(1, "ViewStory", 50.0, {})
+    late.completion = 51.0
+    log.record(early)
+    log.record(late)
+    groups = log.by_interaction(after=10.0)
+    assert len(groups["ViewStory"]) == 1

@@ -1,0 +1,104 @@
+"""Tests for the metric warehouse."""
+
+import pytest
+
+from repro.errors import MonitoringError
+from repro.monitoring.warehouse import MetricWarehouse
+from repro.ntier.request import Request
+from repro.ntier.server import Server, ServerConfig
+from repro.sim.engine import Simulator
+
+from tests.conftest import simple_capacity
+
+
+def make_server(sim, name="db-1", tier="db", a_sat=10.0):
+    return Server(sim, ServerConfig(name, tier, simple_capacity(a_sat), 1000))
+
+
+def busy_flow(server, demand):
+    def _start(r):
+        server.work(r, demand, lambda x: server.release(x))
+    return _start
+
+
+def test_register_and_deregister():
+    sim = Simulator()
+    wh = MetricWarehouse(sim)
+    server = make_server(sim)
+    wh.register_server(server)
+    assert wh.monitored_servers == ["db-1"]
+    with pytest.raises(MonitoringError):
+        wh.register_server(server)
+    wh.deregister_server("db-1")
+    assert wh.monitored_servers == []
+    with pytest.raises(MonitoringError):
+        wh.deregister_server("db-1")
+
+
+def test_vm_samples_collected_each_tick():
+    sim = Simulator()
+    wh = MetricWarehouse(sim, tick=1.0)
+    wh.register_server(make_server(sim))
+    sim.run(until=3.5)
+    samples = wh.samples(window=10.0)
+    assert len(samples) == 3
+    assert {s.server for s in samples} == {"db-1"}
+
+
+def test_tier_cpu_reflects_load():
+    sim = Simulator()
+    wh = MetricWarehouse(sim, tick=1.0)
+    server = make_server(sim, a_sat=10)
+    wh.register_server(server)
+    # Keep 5 requests active for the whole window -> util 0.5.
+    for i in range(5):
+        server.admit(Request(i, "X", 0.0, {"db": 1.0}), busy_flow(server, 100.0))
+    sim.run(until=4.0)
+    assert wh.tier_cpu("db", window=3.0) == pytest.approx(0.5, abs=0.02)
+
+
+def test_tier_cpu_no_samples_is_zero():
+    sim = Simulator()
+    wh = MetricWarehouse(sim)
+    assert wh.tier_cpu("db") == 0.0
+
+
+def test_fine_samples_per_server():
+    sim = Simulator()
+    wh = MetricWarehouse(sim, tick=1.0, fine_interval=0.1)
+    wh.register_server(make_server(sim))
+    sim.run(until=1.0)
+    fine = wh.fine_samples("db-1", window=0.45)
+    assert len(fine) == 5
+    with pytest.raises(MonitoringError):
+        wh.fine_samples("ghost", window=1.0)
+
+
+def test_fine_samples_for_tier_grouping():
+    sim = Simulator()
+    wh = MetricWarehouse(sim, fine_interval=0.1)
+    wh.register_server(make_server(sim, "db-1", "db"))
+    wh.register_server(make_server(sim, "db-2", "db"))
+    wh.register_server(make_server(sim, "app-1", "app"))
+    sim.run(until=0.5)
+    by_server = wh.fine_samples_for_tier("db", window=1.0)
+    assert set(by_server) == {"db-1", "db-2"}
+
+
+def test_history_trimming():
+    sim = Simulator()
+    wh = MetricWarehouse(sim, tick=1.0, history_seconds=5.0)
+    wh.register_server(make_server(sim))
+    sim.run(until=20.0)
+    samples = wh.samples(window=100.0)
+    assert all(s.t_end >= 15.0 for s in samples)
+
+
+def test_late_registered_server_monitored_from_join():
+    sim = Simulator()
+    wh = MetricWarehouse(sim, tick=1.0, fine_interval=0.5)
+    server = make_server(sim)
+    sim.schedule(5.0, wh.register_server, server)
+    sim.run(until=8.0)
+    fine = wh.fine_samples("db-1", window=100.0)
+    assert fine and all(s.t_end > 5.0 for s in fine)

@@ -1,0 +1,129 @@
+"""Tests for the optional Memcached-style cache tier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ntier.app import CACHE, DB, NTierApplication, SoftResourceAllocation
+from repro.ntier.cache import CachePolicy
+from repro.ntier.request import Request
+from repro.ntier.server import Server, ServerConfig
+from repro.sim.engine import Simulator
+
+from tests.conftest import simple_capacity
+
+
+def make_cached_app(sim, hit_ratio=0.8, seed=0):
+    policy = CachePolicy(np.random.default_rng(seed), hit_ratio=hit_ratio)
+    app = NTierApplication(sim, SoftResourceAllocation(1000, 100, 50),
+                           cache_policy=policy)
+    for name, tier, a_sat in [
+        ("web-1", "web", 1000), ("app-1", "app", 1000),
+        ("db-1", "db", 1000), ("cache-1", CACHE, 1000),
+    ]:
+        app.attach_server(
+            Server(sim, ServerConfig(name, tier, simple_capacity(a_sat), 100_000))
+        )
+    return app, policy
+
+
+def read_request(i, db=0.010):
+    return Request(i, "ViewStory", 0.0,
+                   {"web": 0.0005, "app": 0.002, "db": db})
+
+
+def write_request(i):
+    return Request(i, "StoreStory", 0.0,
+                   {"web": 0.0005, "app": 0.002, "db": 0.010})
+
+
+def test_policy_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigurationError):
+        CachePolicy(rng, hit_ratio=1.5)
+    with pytest.raises(ConfigurationError):
+        CachePolicy(rng, lookup_fraction=0.0)
+
+
+def test_cache_inactive_without_servers():
+    sim = Simulator()
+    policy = CachePolicy(np.random.default_rng(0))
+    app = NTierApplication(sim, cache_policy=policy)
+    assert not app.cache_active
+
+
+def test_hits_skip_the_db():
+    sim = Simulator()
+    app, policy = make_cached_app(sim, hit_ratio=1.0)
+    db = app.tiers[DB].servers[0]
+    cache = app.tiers[CACHE].servers[0]
+    for i in range(20):
+        sim.schedule(0.0, app.submit, read_request(i))
+    sim.run()
+    assert app.completed == 20
+    assert db.completions == 0
+    assert cache.completions == 20
+
+
+def test_misses_go_to_the_db():
+    sim = Simulator()
+    app, policy = make_cached_app(sim, hit_ratio=0.0)
+    db = app.tiers[DB].servers[0]
+    cache = app.tiers[CACHE].servers[0]
+    for i in range(20):
+        sim.schedule(0.0, app.submit, read_request(i))
+    sim.run()
+    assert db.completions == 20
+    assert cache.completions == 0
+
+
+def test_writes_always_bypass_cache():
+    sim = Simulator()
+    app, policy = make_cached_app(sim, hit_ratio=1.0)
+    db = app.tiers[DB].servers[0]
+    for i in range(10):
+        sim.schedule(0.0, app.submit, write_request(i))
+    sim.run()
+    assert db.completions == 10
+    assert policy.write_bypasses == 10
+
+
+def test_hit_ratio_statistics():
+    sim = Simulator()
+    app, policy = make_cached_app(sim, hit_ratio=0.7, seed=42)
+    for i in range(800):
+        sim.schedule(i * 0.001, app.submit, read_request(i))
+    sim.run()
+    assert policy.observed_hit_ratio == pytest.approx(0.7, abs=0.05)
+
+
+def test_cache_hits_are_faster():
+    sim = Simulator()
+    app, policy = make_cached_app(sim, hit_ratio=1.0)
+    done = []
+    app.on_complete(lambda r: done.append(r.response_time))
+    sim.schedule(0.0, app.submit, read_request(0))
+    sim.run()
+    hit_latency = done[0]
+
+    sim2 = Simulator()
+    app2, _ = make_cached_app(sim2, hit_ratio=0.0)
+    done2 = []
+    app2.on_complete(lambda r: done2.append(r.response_time))
+    sim2.schedule(0.0, app2.submit, read_request(0))
+    sim2.run()
+    miss_latency = done2[0]
+    assert hit_latency < miss_latency
+    # the 10 ms DB call was replaced by a ~0.8 ms lookup
+    assert miss_latency - hit_latency == pytest.approx(0.010 * 0.92, rel=0.05)
+
+
+def test_cache_reduces_db_pressure_under_load():
+    sim = Simulator()
+    app, _ = make_cached_app(sim, hit_ratio=0.8, seed=1)
+    db = app.tiers[DB].servers[0]
+    for i in range(500):
+        sim.schedule(i * 0.0005, app.submit, read_request(i))
+    sim.run()
+    assert app.completed == 500
+    assert db.completions == pytest.approx(100, abs=40)

@@ -1,0 +1,74 @@
+"""Tests for the service-demand model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ntier.demand import DemandProfile, TierDemand
+
+
+def test_tier_demand_validation():
+    with pytest.raises(ConfigurationError):
+        TierDemand(mean=0.0)
+    with pytest.raises(ConfigurationError):
+        TierDemand(mean=0.01, cv=-0.5)
+
+
+def test_effective_mean_dataset_scaling():
+    td = TierDemand(mean=0.01, dataset_exponent=1.0)
+    assert td.effective_mean(2.0) == pytest.approx(0.02)
+    td = TierDemand(mean=0.01, dataset_exponent=0.0)
+    assert td.effective_mean(5.0) == pytest.approx(0.01)
+    td = TierDemand(mean=0.01, dataset_exponent=0.5)
+    assert td.effective_mean(4.0) == pytest.approx(0.02)
+
+
+def test_effective_mean_rejects_bad_scale():
+    with pytest.raises(ConfigurationError):
+        TierDemand(mean=0.01).effective_mean(0.0)
+
+
+def _profile(cv=0.3):
+    return DemandProfile(
+        interaction="X",
+        tiers={
+            "web": TierDemand(mean=0.001, cv=cv),
+            "db": TierDemand(mean=0.010, cv=cv, dataset_exponent=1.0),
+        },
+    )
+
+
+def test_draw_deterministic_when_cv_zero():
+    rng = np.random.default_rng(0)
+    out = _profile(cv=0.0).draw(rng)
+    assert out == {"web": 0.001, "db": 0.010}
+
+
+def test_draw_respects_demand_scale():
+    rng = np.random.default_rng(0)
+    out = _profile(cv=0.0).draw(rng, demand_scale=25.0)
+    assert out["db"] == pytest.approx(0.25)
+
+
+def test_draw_respects_dataset_scale():
+    rng = np.random.default_rng(0)
+    out = _profile(cv=0.0).draw(rng, dataset_scale=2.0)
+    assert out["db"] == pytest.approx(0.020)
+    assert out["web"] == pytest.approx(0.001)  # exponent 0
+
+
+def test_draw_statistics_match_configuration():
+    rng = np.random.default_rng(42)
+    profile = _profile(cv=0.4)
+    draws = np.array([profile.draw(rng)["db"] for _ in range(4000)])
+    assert draws.mean() == pytest.approx(0.010, rel=0.05)
+    assert draws.std() / draws.mean() == pytest.approx(0.4, rel=0.10)
+    assert (draws > 0).all()
+
+
+def test_mean_demand_lookup():
+    profile = _profile()
+    assert profile.mean_demand("db") == pytest.approx(0.010)
+    assert profile.mean_demand("db", dataset_scale=3.0) == pytest.approx(0.030)
+    with pytest.raises(ConfigurationError):
+        profile.mean_demand("cache")

@@ -1,0 +1,37 @@
+"""Tests for request objects."""
+
+import pytest
+
+from repro.ntier.request import Request, ServerVisit
+
+
+def test_response_time_requires_completion():
+    req = Request(0, "X", arrival=1.0, demands={})
+    with pytest.raises(ValueError):
+        _ = req.response_time
+    req.completion = 3.5
+    assert req.response_time == pytest.approx(2.5)
+    assert req.done
+
+
+def test_demand_lookup_and_error():
+    req = Request(0, "X", 0.0, demands={"db": 0.01})
+    assert req.demand_at("db") == 0.01
+    with pytest.raises(KeyError, match="web"):
+        req.demand_at("web")
+
+
+def test_open_visit_records_arrival():
+    req = Request(0, "X", 0.0, demands={})
+    visit = req.open_visit("db-1", now=4.0)
+    assert visit.server_name == "db-1"
+    assert visit.arrival == 4.0
+    assert req.visits == [visit]
+
+
+def test_visit_latency_requires_departure():
+    visit = ServerVisit("db-1", arrival=1.0)
+    with pytest.raises(ValueError):
+        _ = visit.latency
+    visit.departure = 1.75
+    assert visit.latency == pytest.approx(0.75)

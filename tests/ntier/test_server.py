@@ -1,0 +1,207 @@
+"""Tests for the processor-sharing server."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ntier.capacity import CapacityModel, ContentionModel, Resource
+from repro.ntier.request import Request
+from repro.ntier.server import Server, ServerConfig
+from repro.sim.engine import Simulator
+
+
+def make_server(sim, a_sat=10.0, sigma=0.0, kappa=0.0, threads=100):
+    cap = CapacityModel(
+        [Resource("cpu", 1.0, 1.0 / a_sat)], ContentionModel(sigma, kappa)
+    )
+    return Server(sim, ServerConfig("s-1", "db", cap, threads))
+
+
+def make_request(req_id=0, demand=1.0):
+    return Request(req_id=req_id, interaction="X", arrival=0.0, demands={"db": demand})
+
+
+def run_one(sim, server, req, demand):
+    done = []
+    server.admit(req, lambda r: server.work(r, demand, done.append))
+    return done
+
+
+def test_single_job_runs_at_unit_rate():
+    sim = Simulator()
+    server = make_server(sim)
+    req = make_request()
+    done = run_one(sim, server, req, demand=2.0)
+    sim.run()
+    assert done == [req]
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_two_jobs_below_saturation_run_in_parallel():
+    """Below a_sat each PS job progresses at full speed."""
+    sim = Simulator()
+    server = make_server(sim, a_sat=10)
+    done = []
+    for i in range(2):
+        req = make_request(i)
+        server.admit(req, lambda r: server.work(r, 1.0, done.append))
+    sim.run()
+    assert len(done) == 2
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_jobs_beyond_saturation_share_capacity():
+    """20 unit jobs on an a_sat=10 server take 2 time units."""
+    sim = Simulator()
+    server = make_server(sim, a_sat=10)
+    done = []
+    for i in range(20):
+        server.admit(make_request(i), lambda r: server.work(r, 1.0, done.append))
+    sim.run()
+    assert len(done) == 20
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_unequal_demands_finish_in_demand_order():
+    sim = Simulator()
+    server = make_server(sim, a_sat=1)  # full PS sharing between 2 jobs
+    finished = []
+    server.admit(
+        make_request(0), lambda r: server.work(r, 1.0, lambda x: finished.append((x.req_id, sim.now)))
+    )
+    server.admit(
+        make_request(1), lambda r: server.work(r, 2.0, lambda x: finished.append((x.req_id, sim.now)))
+    )
+    sim.run()
+    # job 0 finishes at t=2 (rate 1/2 each); then job 1 alone finishes
+    # its remaining 1.0 at t=3.
+    assert finished == [(0, pytest.approx(2.0)), (1, pytest.approx(3.0))]
+
+
+def test_thread_pool_queues_admissions():
+    sim = Simulator()
+    server = make_server(sim, a_sat=10, threads=1)
+    order = []
+
+    def flow(r):
+        server.work(r, 1.0, finish)
+
+    def finish(r):
+        order.append((r.req_id, sim.now))
+        server.release(r)
+
+    server.admit(make_request(0), flow)
+    server.admit(make_request(1), flow)
+    sim.run()
+    assert order == [(0, pytest.approx(1.0)), (1, pytest.approx(2.0))]
+
+
+def test_admitted_and_active_counters():
+    sim = Simulator()
+    server = make_server(sim, a_sat=10)
+    req = make_request()
+    server.admit(req, lambda r: None)  # admitted but never active
+    assert server.admitted == 1
+    assert server.active == 0
+    server.work(req, 1.0, lambda r: None)
+    assert server.active == 1
+    sim.run()
+    assert server.active == 0
+    assert server.admitted == 1  # still holds its thread
+    server.release(req)
+    assert server.admitted == 0
+    assert server.is_idle
+
+
+def test_blocked_requests_slow_active_ones():
+    """Admitted-but-blocked requests add contention overhead."""
+    sim = Simulator()
+    server = make_server(sim, a_sat=10, sigma=0.1)
+    blockers = [make_request(100 + i) for i in range(10)]
+    for b in blockers:
+        server.admit(b, lambda r: None)  # hold threads, no work
+    done_at = []
+    server.admit(make_request(0), lambda r: server.work(r, 1.0, lambda x: done_at.append(sim.now)))
+    sim.run()
+    # penalty(11) = 1/(1+0.1*10) = 0.5 -> the unit job takes 2 time units
+    assert done_at == [pytest.approx(2.0)]
+
+
+def test_work_without_admit_raises():
+    sim = Simulator()
+    server = make_server(sim)
+    with pytest.raises(SimulationError):
+        server.work(make_request(), 1.0, lambda r: None)
+
+
+def test_release_without_admit_raises():
+    sim = Simulator()
+    server = make_server(sim)
+    with pytest.raises(SimulationError):
+        server.release(make_request())
+
+
+def test_zero_demand_completes_via_event():
+    sim = Simulator()
+    server = make_server(sim)
+    done = []
+    server.admit(make_request(), lambda r: server.work(r, 0.0, done.append))
+    assert done == []  # not synchronous
+    sim.run()
+    assert len(done) == 1
+    assert sim.now == 0.0
+
+
+def test_visit_latency_recorded_on_release():
+    sim = Simulator()
+    server = make_server(sim)
+    req = make_request()
+
+    def flow(r):
+        server.work(r, 1.5, lambda x: server.release(x))
+
+    server.admit(req, flow)
+    sim.run()
+    assert server.completions == 1
+    assert server.latency_total == pytest.approx(1.5)
+    assert req.visits[0].latency == pytest.approx(1.5)
+
+
+def test_concurrency_integral_time_weighted():
+    sim = Simulator()
+    server = make_server(sim, a_sat=10)
+    req = make_request()
+    server.admit(req, lambda r: server.work(r, 2.0, lambda x: server.release(x)))
+    sim.run()
+    server.sync_monitors()
+    # one request admitted for 2 time units
+    assert server.concurrency_integral == pytest.approx(2.0)
+    assert server.active_integral == pytest.approx(2.0)
+
+
+def test_util_integral_accumulates():
+    sim = Simulator()
+    server = make_server(sim, a_sat=10)
+    req = make_request()
+    server.admit(req, lambda r: server.work(r, 2.0, lambda x: server.release(x)))
+    sim.run()
+    server.sync_monitors()
+    # one active request on an a_sat=10 server => util 0.1 for 2 units
+    assert server.util_integral["cpu"] == pytest.approx(0.2)
+
+
+def test_many_sequential_batches_conserve_work():
+    """Total served work equals total injected work across batches."""
+    sim = Simulator()
+    server = make_server(sim, a_sat=4)
+    done = []
+
+    def flow(r):
+        server.work(r, 0.5, lambda x: (server.release(x), done.append(x.req_id)))
+
+    for i in range(40):
+        sim.schedule(i * 0.05, server.admit, make_request(i), flow)
+    sim.run()
+    assert len(done) == 40
+    assert server.work_completions == 40
+    # 40 jobs * 0.5 work at max rate 4 -> at least 5 time units
+    assert sim.now >= 5.0 - 1e-9

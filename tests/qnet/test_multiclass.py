@@ -1,0 +1,152 @@
+"""Tests for exact multi-class MVA."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.qnet.multiclass import solve_mva_multiclass
+from repro.qnet.mva import DelayStation, QueueingStation, solve_mva
+
+
+def test_single_class_collapses_to_classic_mva():
+    """With one class the multi-class recursion must equal the
+    single-class solver at every shared point."""
+    single = solve_mva(
+        [QueueingStation("a", 1.0), QueueingStation("b", 2.0)], 4
+    )
+    for n in range(1, 5):
+        multi = solve_mva_multiclass(
+            ["a", "b"],
+            {"c": {"a": 1.0, "b": 2.0}},
+            {"c": n},
+        )
+        x_ref, r_ref = single.at(n)
+        assert multi.throughput["c"] == pytest.approx(x_ref, rel=1e-12)
+        assert multi.response_time["c"] == pytest.approx(r_ref, rel=1e-12)
+
+
+def test_two_identical_classes_equal_one_merged_class():
+    """Splitting a population into two identical classes must not
+    change total throughput (symmetry sanity)."""
+    merged = solve_mva_multiclass(
+        ["a", "b"], {"c": {"a": 0.5, "b": 1.0}}, {"c": 6}
+    )
+    split = solve_mva_multiclass(
+        ["a", "b"],
+        {"c1": {"a": 0.5, "b": 1.0}, "c2": {"a": 0.5, "b": 1.0}},
+        {"c1": 3, "c2": 3},
+    )
+    assert split.total_throughput() == pytest.approx(
+        merged.total_throughput(), rel=1e-9
+    )
+    assert split.throughput["c1"] == pytest.approx(split.throughput["c2"])
+
+
+def test_heavy_class_dominates_bottleneck():
+    result = solve_mva_multiclass(
+        ["cpu", "disk"],
+        {
+            "browse": {"cpu": 0.010, "disk": 0.001},
+            "write": {"cpu": 0.002, "disk": 0.030},
+        },
+        {"browse": 10, "write": 10},
+    )
+    # writes hammer the disk -> disk holds the larger queue
+    assert result.bottleneck() == "disk"
+    # and the write class suffers the longer response time
+    assert result.response_time["write"] > result.response_time["browse"]
+
+
+def test_think_time_reduces_contention():
+    base = solve_mva_multiclass(
+        ["s"], {"c": {"s": 0.1}}, {"c": 10}
+    )
+    with_think = solve_mva_multiclass(
+        ["s"], {"c": {"s": 0.1}}, {"c": 10}, think_times={"c": 5.0}
+    )
+    # with long think times the station is nearly uncontended
+    assert with_think.response_time["c"] < base.response_time["c"]
+    assert with_think.response_time["c"] == pytest.approx(0.1, rel=0.25)
+
+
+def test_zero_population_class_is_inert():
+    with_ghost = solve_mva_multiclass(
+        ["s"], {"c": {"s": 0.1}, "ghost": {"s": 5.0}}, {"c": 5, "ghost": 0}
+    )
+    alone = solve_mva_multiclass(["s"], {"c": {"s": 0.1}}, {"c": 5})
+    assert with_ghost.throughput["c"] == pytest.approx(
+        alone.throughput["c"], rel=1e-12
+    )
+    assert with_ghost.throughput["ghost"] == 0.0
+
+
+def test_queue_lengths_sum_to_population_without_think():
+    result = solve_mva_multiclass(
+        ["a", "b"],
+        {"x": {"a": 0.4, "b": 0.2}, "y": {"a": 0.1, "b": 0.9}},
+        {"x": 4, "y": 3},
+    )
+    assert sum(result.station_queue.values()) == pytest.approx(7.0, rel=1e-9)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        solve_mva_multiclass([], {"c": {}}, {"c": 1})
+    with pytest.raises(ConfigurationError):
+        solve_mva_multiclass(["s"], {}, {})
+    with pytest.raises(ConfigurationError):
+        solve_mva_multiclass(["s"], {"c": {}}, {"c": 1})  # missing demand
+    with pytest.raises(ConfigurationError):
+        solve_mva_multiclass(["s"], {"c": {"s": -1.0}}, {"c": 1})
+    with pytest.raises(ConfigurationError):
+        solve_mva_multiclass(["s"], {"c": {"s": 0.1}}, {"c": 0})
+    with pytest.raises(ConfigurationError):
+        solve_mva_multiclass(["s", "s"], {"c": {"s": 0.1}}, {"c": 1})
+
+
+def test_against_simulator_two_classes():
+    """Two classes with different demands through one PS server: the
+    multi-class prediction matches the DES simulator."""
+    from repro.ntier.capacity import CapacityModel, ContentionModel, Resource
+    from repro.ntier.request import Request
+    from repro.ntier.server import Server, ServerConfig
+    from repro.rng import RngRegistry
+    from repro.sim.engine import Simulator
+
+    d = {"fast": 0.01, "slow": 0.04}
+    n = {"fast": 4, "slow": 2}
+    sim = Simulator()
+    capacity = CapacityModel([Resource("cpu", 1.0, 1.0)], ContentionModel())
+    server = Server(sim, ServerConfig("s", "db", capacity, 10_000))
+    rng = RngRegistry(3)
+    counts = {"fast": 0, "slow": 0}
+    state = {"next_id": 0}
+
+    def loop(cls):
+        def issue():
+            req = Request(state["next_id"], "X", sim.now, {"db": d[cls]})
+            state["next_id"] += 1
+            server.admit(
+                req, lambda r: server.work(r, d[cls], done)
+            )
+
+        def done(r):
+            server.release(r)
+            counts[cls] += 1
+            issue()
+
+        return issue
+
+    for cls, pop in n.items():
+        for _ in range(pop):
+            sim.schedule(0.0, loop(cls))
+    duration = 60.0
+    sim.run(until=duration)
+
+    prediction = solve_mva_multiclass(["s"], {
+        "fast": {"s": d["fast"]}, "slow": {"s": d["slow"]},
+    }, n)
+    for cls in n:
+        x_sim = counts[cls] / duration
+        assert x_sim == pytest.approx(prediction.throughput[cls], rel=0.05), (
+            f"{cls}: sim {x_sim:.1f}/s vs MVA {prediction.throughput[cls]:.1f}/s"
+        )

@@ -1,0 +1,118 @@
+"""Tests for the exact MVA solver against hand-computed and classical
+results."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.qnet.mva import (
+    DelayStation,
+    LDStation,
+    QueueingStation,
+    solve_mva,
+)
+
+
+def test_single_station_n1():
+    """One customer, one fixed station: X = 1/D, R = D."""
+    res = solve_mva([QueueingStation("s", 0.1)], 1)
+    x, r = res.at(1)
+    assert x == pytest.approx(10.0)
+    assert r == pytest.approx(0.1)
+
+
+def test_single_station_heavy_load():
+    """X(n) -> 1/D as n grows; R(n) -> n*D."""
+    res = solve_mva([QueueingStation("s", 0.1)], 50)
+    x, r = res.at(50)
+    assert x == pytest.approx(10.0, rel=1e-6)
+    assert r == pytest.approx(50 * 0.1, rel=0.03)
+
+
+def test_two_station_hand_computation():
+    """Classic textbook recursion, verified by hand for n=1,2.
+
+    D1=1, D2=2:
+      n=1: R1=1, R2=2, X=1/3, Q1=1/3, Q2=2/3
+      n=2: R1=1*(1+1/3)=4/3, R2=2*(1+2/3)=10/3, X=2/(14/3)=3/7
+    """
+    res = solve_mva([QueueingStation("a", 1.0), QueueingStation("b", 2.0)], 2)
+    x1, r1 = res.at(1)
+    assert x1 == pytest.approx(1.0 / 3.0)
+    assert r1 == pytest.approx(3.0)
+    x2, r2 = res.at(2)
+    assert x2 == pytest.approx(3.0 / 7.0)
+    assert r2 == pytest.approx(14.0 / 3.0)
+
+
+def test_delay_station_think_time():
+    """With think time Z and one station: X(1) = 1/(D+Z)."""
+    res = solve_mva(
+        [QueueingStation("s", 0.1), DelayStation("think", 0.9)], 1
+    )
+    x, r = res.at(1)
+    assert x == pytest.approx(1.0)
+    assert r == pytest.approx(0.1)  # response excludes think
+
+
+def test_ld_station_equals_fixed_for_unit_rates():
+    """An LD station with rate(j)=1 is exactly a fixed station."""
+    fixed = solve_mva([QueueingStation("s", 0.5)], 20)
+    ld = solve_mva([LDStation("s", 0.5, lambda j: 1.0)], 20)
+    assert np.allclose(fixed.throughput, ld.throughput)
+    assert np.allclose(fixed.response_time, ld.response_time)
+
+
+def test_ld_station_multi_server():
+    """rate(j)=min(j,c) is an M/M/c-like station: with c=2 and two
+    customers both can be served in parallel -> X(2) = 2/D."""
+    res = solve_mva([LDStation("s", 1.0, lambda j: min(j, 2))], 2)
+    x, r = res.at(2)
+    assert x == pytest.approx(2.0)
+    assert r == pytest.approx(1.0)
+
+
+def test_ld_station_saturation():
+    """rate(j)=min(j,c): X(n) -> c/D for n >> c."""
+    res = solve_mva([LDStation("s", 0.1, lambda j: min(j, 4))], 60)
+    x, _ = res.at(60)
+    assert x == pytest.approx(40.0, rel=1e-3)
+
+
+def test_queue_lengths_sum_to_population():
+    stations = [
+        QueueingStation("a", 1.0),
+        LDStation("b", 0.5, lambda j: min(j, 2)),
+        DelayStation("z", 2.0),
+    ]
+    res = solve_mva(stations, 15)
+    for n in (1, 5, 15):
+        total = sum(res.station_queue[s.name][n - 1] for s in stations)
+        assert total == pytest.approx(n, rel=1e-6)
+
+
+def test_throughput_monotone_in_population():
+    res = solve_mva(
+        [QueueingStation("a", 0.3), QueueingStation("b", 0.7)], 40
+    )
+    assert np.all(np.diff(res.throughput) >= -1e-12)
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigurationError):
+        solve_mva([], 5)
+    with pytest.raises(ConfigurationError):
+        solve_mva([QueueingStation("s", 0.1)], 0)
+    with pytest.raises(ConfigurationError):
+        solve_mva(
+            [QueueingStation("s", 0.1), QueueingStation("s", 0.2)], 5
+        )
+    with pytest.raises(ConfigurationError):
+        QueueingStation("s", 0.0)
+    with pytest.raises(ConfigurationError):
+        DelayStation("z", -1.0)
+    with pytest.raises(ConfigurationError):
+        solve_mva([LDStation("s", 0.1, lambda j: 0.0)], 3)
+    res = solve_mva([QueueingStation("s", 0.1)], 3)
+    with pytest.raises(ConfigurationError):
+        res.at(4)

@@ -1,0 +1,51 @@
+"""Tests for scatter trend lines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.sct.grouping import bucketize
+from repro.sct.smoothing import trend_line
+from repro.sct.tuples import MetricTuple
+
+
+def make_buckets():
+    tuples = []
+    for q in range(1, 21):
+        tp = 10.0 * min(q, 10)
+        for _ in range(4):
+            tuples.append(MetricTuple(q, tp, 0.001 * q, 1.0))
+    return bucketize(tuples, min_samples=3, width=1)
+
+
+def test_trend_passes_through_bucket_means():
+    buckets = make_buckets()
+    grid, values = trend_line(buckets, "tp")
+    # at q=5 the curve should be ~50
+    idx = int(np.argmin(np.abs(grid - 5.0)))
+    assert values[idx] == pytest.approx(50.0, rel=0.05)
+
+
+def test_trend_monotone_on_monotone_data():
+    buckets = make_buckets()
+    grid, values = trend_line(buckets, "rt")
+    assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+def test_trend_rejects_unknown_metric():
+    with pytest.raises(EstimationError):
+        trend_line(make_buckets(), "latency")
+
+
+def test_trend_needs_two_points():
+    tuples = [MetricTuple(5, 10.0, 0.01, 1.0)] * 4
+    buckets = bucketize(tuples, min_samples=3, width=1)
+    with pytest.raises(EstimationError):
+        trend_line(buckets, "tp")
+
+
+def test_trend_grid_bounds():
+    grid, _ = trend_line(make_buckets(), "tp", points=50)
+    assert grid[0] == 1.0
+    assert grid[-1] == 20.0
+    assert len(grid) == 50

@@ -1,0 +1,129 @@
+"""Tests for SCT metric tuples and concurrency grouping."""
+
+import math
+
+import pytest
+
+from repro.monitoring.interval import IntervalSample
+from repro.sct.grouping import band_representative, bucketize
+from repro.sct.tuples import MetricTuple, tuples_from_samples
+
+
+def sample(q, tp, rt=0.01, util=1.0, t=1.0):
+    return IntervalSample(
+        t_end=t, concurrency=q, throughput=tp, response_time=rt,
+        completions=int(tp > 0), utilization={"cpu": util},
+    )
+
+
+# ----------------------------------------------------------------------
+# tuples
+# ----------------------------------------------------------------------
+
+def test_idle_intervals_dropped():
+    out = tuples_from_samples([sample(0.0, 0.0), sample(2.0, 10.0)])
+    assert len(out) == 1
+    assert out[0].q == 2.0
+
+
+def test_zero_tp_with_concurrency_kept():
+    """Stalled-server evidence must not be discarded."""
+    out = tuples_from_samples([sample(5.0, 0.0, rt=math.nan)])
+    assert len(out) == 1
+    assert out[0].tp == 0.0
+
+
+def test_util_takes_max_resource():
+    s = IntervalSample(
+        t_end=1.0, concurrency=3.0, throughput=5.0, response_time=0.01,
+        completions=5, utilization={"cpu": 0.4, "disk": 0.9},
+    )
+    (t,) = tuples_from_samples([s])
+    assert t.util == 0.9
+
+
+# ----------------------------------------------------------------------
+# banding
+# ----------------------------------------------------------------------
+
+def test_band_exact_below_base():
+    for q in range(1, 17):
+        assert band_representative(q) == q
+
+
+def test_band_monotone_nondecreasing():
+    reps = [band_representative(q) for q in range(1, 500)]
+    assert all(a <= b for a, b in zip(reps, reps[1:]))
+
+
+def test_band_groups_high_levels():
+    reps = {band_representative(q) for q in range(60, 70)}
+    assert len(reps) < 10  # several levels share a band
+
+
+def test_band_representative_within_band():
+    for q in (20, 40, 80, 200):
+        rep = band_representative(q)
+        assert abs(rep - q) / q < 0.15  # representative stays close
+
+
+# ----------------------------------------------------------------------
+# bucketize
+# ----------------------------------------------------------------------
+
+def tuples_at(q, n, tp=10.0, util=1.0):
+    return [MetricTuple(q=q, tp=tp, rt=0.01, util=util) for _ in range(n)]
+
+
+def test_min_samples_filter():
+    tup = tuples_at(3, 2) + tuples_at(5, 4)
+    buckets = bucketize(tup, min_samples=3, width=1)
+    assert list(buckets) == [5]
+
+
+def test_width_one_exact_levels():
+    tup = tuples_at(3, 3) + tuples_at(4, 3)
+    buckets = bucketize(tup, min_samples=3, width=1)
+    assert sorted(buckets) == [3, 4]
+
+
+def test_uniform_width_merges():
+    tup = tuples_at(3, 2) + tuples_at(4, 2)
+    buckets = bucketize(tup, min_samples=3, width=2)
+    assert len(buckets) == 1
+    (bucket,) = buckets.values()
+    assert bucket.count == 4
+
+
+def test_invalid_width():
+    with pytest.raises(ValueError):
+        bucketize([], width=0)
+
+
+def test_bucket_statistics():
+    tup = [MetricTuple(5, 10.0, 0.01, 1.0), MetricTuple(5, 14.0, 0.02, 0.8),
+           MetricTuple(5, 12.0, math.nan, 0.9)]
+    buckets = bucketize(tup, min_samples=3, width=1)
+    b = buckets[5]
+    assert b.mean_tp == pytest.approx(12.0)
+    assert b.std_tp == pytest.approx(2.0)
+    assert b.mean_rt == pytest.approx(0.015)  # NaN RT excluded
+    assert b.mean_util == pytest.approx(0.9)
+
+
+def test_bucket_mean_rt_all_nan():
+    tup = [MetricTuple(5, 10.0, math.nan, 1.0)] * 3
+    buckets = bucketize(tup, min_samples=3, width=1)
+    assert math.isnan(buckets[5].mean_rt)
+
+
+def test_fractional_concurrency_rounds():
+    tup = tuples_at(4.6, 3)
+    buckets = bucketize(tup, min_samples=3, width=1)
+    assert list(buckets) == [5]
+
+
+def test_sub_one_concurrency_clamps_to_one():
+    tup = tuples_at(0.4, 3)
+    buckets = bucketize(tup, min_samples=3, width=1)
+    assert list(buckets) == [1]

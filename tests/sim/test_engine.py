@@ -1,0 +1,168 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import ScheduleError, SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3.0, seen.append, "c")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(2.0, seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_ties_break_by_schedule_order():
+    sim = Simulator()
+    seen = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(1.0, seen.append, tag)
+    sim.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.5, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_excludes_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "early")
+    sim.schedule(10.0, seen.append, "late")
+    sim.run(until=5.0)
+    assert seen == ["early"]
+    assert sim.now == 5.0  # clock lands exactly on `until`
+
+
+def test_run_until_then_resume():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, 1)
+    sim.schedule(10.0, seen.append, 10)
+    sim.run(until=5.0)
+    sim.run()
+    assert seen == [1, 10]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(ScheduleError):
+        sim.schedule(1.0, lambda: None)
+
+
+def test_schedule_after_negative_delay_raises():
+    with pytest.raises(ScheduleError):
+        Simulator().schedule_after(-1.0, lambda: None)
+
+
+def test_schedule_after_relative():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3.0, lambda: sim.schedule_after(2.0, lambda: seen.append(sim.now)))
+    sim.run()
+    # the inner callback records the time it RUNS at, i.e. 5.0
+    assert seen == [5.0]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(1.0, seen.append, "x")
+    handle.cancel()
+    sim.run()
+    assert seen == []
+    assert sim.events_executed == 0
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_stop_from_callback():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(1)
+        sim.stop()
+
+    sim.schedule(1.0, first)
+    sim.schedule(2.0, seen.append, 2)
+    sim.run()
+    assert seen == [1]
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.schedule(float(i + 1), seen.append, i)
+    sim.run(max_events=2)
+    assert seen == [0, 1]
+
+
+def test_events_executed_counts_only_fired():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h.cancel()
+    sim.run()
+    assert sim.events_executed == 1
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h.cancel()
+    assert sim.pending_events == 1
+
+
+def test_reentrant_run_raises():
+    sim = Simulator()
+
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_callback_scheduling_more_events():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 4:
+            sim.schedule_after(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+    assert sim.now == 4.0

@@ -1,0 +1,63 @@
+"""Tests for periodic processes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+
+def test_ticks_at_fixed_interval():
+    sim = Simulator()
+    ticks = []
+    PeriodicProcess(sim, 1.0, ticks.append)
+    sim.run(until=5.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_custom_start_time():
+    sim = Simulator()
+    ticks = []
+    PeriodicProcess(sim, 2.0, ticks.append, start_at=0.5)
+    sim.run(until=5.0)
+    assert ticks == [0.5, 2.5, 4.5]
+
+
+def test_stop_cancels_future_ticks():
+    sim = Simulator()
+    ticks = []
+    proc = PeriodicProcess(sim, 1.0, ticks.append)
+    sim.schedule(2.5, proc.stop)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+    assert proc.stopped
+
+
+def test_stop_from_inside_callback():
+    sim = Simulator()
+    ticks = []
+    proc = PeriodicProcess(sim, 1.0, lambda t: (ticks.append(t), proc.stop()))
+    sim.run(until=10.0)
+    assert ticks == [1.0]
+
+
+def test_invalid_interval_raises():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        PeriodicProcess(sim, 0.0, lambda t: None)
+    with pytest.raises(ConfigurationError):
+        PeriodicProcess(sim, -1.0, lambda t: None)
+
+
+def test_interval_property():
+    sim = Simulator()
+    proc = PeriodicProcess(sim, 0.25, lambda t: None)
+    assert proc.interval == 0.25
+
+
+def test_stop_is_idempotent():
+    sim = Simulator()
+    proc = PeriodicProcess(sim, 1.0, lambda t: None)
+    proc.stop()
+    proc.stop()
+    sim.run(until=3.0)

@@ -1,0 +1,53 @@
+"""Tests for deterministic random-stream management."""
+
+from repro.rng import RngRegistry
+
+
+def test_same_seed_same_streams():
+    a = RngRegistry(42).stream("arrivals")
+    b = RngRegistry(42).stream("arrivals")
+    assert list(a.random(5)) == list(b.random(5))
+
+
+def test_different_names_are_independent():
+    reg = RngRegistry(42)
+    a = reg.stream("arrivals").random(5)
+    b = reg.stream("demand").random(5)
+    assert list(a) != list(b)
+
+
+def test_request_order_does_not_matter():
+    r1 = RngRegistry(7)
+    r1.stream("x")
+    y1 = r1.stream("y").random(3)
+    r2 = RngRegistry(7)
+    y2 = r2.stream("y").random(3)
+    assert list(y1) == list(y2)
+
+
+def test_same_name_returns_same_object():
+    reg = RngRegistry(1)
+    assert reg.stream("a") is reg.stream("a")
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(1).stream("s").random(5)
+    b = RngRegistry(2).stream("s").random(5)
+    assert list(a) != list(b)
+
+
+def test_fork_is_deterministic():
+    a = RngRegistry(9).fork("sub").stream("s").random(4)
+    b = RngRegistry(9).fork("sub").stream("s").random(4)
+    assert list(a) == list(b)
+
+
+def test_fork_differs_from_parent():
+    reg = RngRegistry(9)
+    a = reg.stream("s").random(4)
+    b = reg.fork("sub").stream("s").random(4)
+    assert list(a) != list(b)
+
+
+def test_seed_property():
+    assert RngRegistry(123).seed == 123
