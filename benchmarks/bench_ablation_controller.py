@@ -8,7 +8,7 @@
   bench compares it against ``roundrobin`` on the EC2 baseline.
 """
 
-from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, bench_engine, run_once
 from repro.experiments.ablation import balancer_ablation, headroom_ablation
 from repro.experiments.report import format_table
 
@@ -23,6 +23,7 @@ def test_ablation_headroom(benchmark):
         benchmark, headroom_ablation,
         headrooms=(1.0, 1.15, 1.4),
         load_scale=BENCH_SCALE, duration=400.0, seed=BENCH_SEED,
+        engine=bench_engine(grid=3),
     )
     print()
     print(_render(points, "headroom"))
@@ -36,6 +37,7 @@ def test_ablation_balancer_policy(benchmark):
     points = run_once(
         benchmark, balancer_ablation,
         load_scale=BENCH_SCALE, duration=400.0, seed=BENCH_SEED,
+        engine=bench_engine(grid=2),
     )
     print()
     print(_render(points, "policy"))

@@ -12,7 +12,13 @@ the same hardware scaling trajectory (same policy, similar VM counts).
 
 import numpy as np
 
-from benchmarks.conftest import BENCH_DURATION, BENCH_SCALE, BENCH_SEED, run_once
+from benchmarks.conftest import (
+    BENCH_DURATION,
+    BENCH_SCALE,
+    BENCH_SEED,
+    bench_engine,
+    run_once,
+)
 from repro.experiments.figures import figure10
 
 
@@ -20,6 +26,7 @@ def test_fig10_ec2_vs_conscale(benchmark, results_dir):
     data = run_once(
         benchmark, figure10,
         load_scale=BENCH_SCALE, duration=BENCH_DURATION, seed=BENCH_SEED,
+        engine=bench_engine(grid=2),
     )
     print()
     print(data.render())
@@ -40,10 +47,11 @@ def test_fig10_ec2_vs_conscale(benchmark, results_dir):
 def test_fig10_cost_accounting(benchmark):
     """ConScale's stability also costs less: EC2's collapse keeps CPUs
     busy-but-useless, so the threshold scaler buys extra VMs. The run
-    is shared with the latency bench via the resumable figure call."""
+    is shared with the latency bench via the engine's result cache."""
     data = run_once(
         benchmark, figure10,
         load_scale=BENCH_SCALE, duration=BENCH_DURATION, seed=BENCH_SEED,
+        engine=bench_engine(grid=2),
     )
     print()
     print(f"VM-seconds: ec2={data.ec2.vm_seconds:.0f} "

@@ -15,7 +15,13 @@ require parity-or-better plus the estimate shift).
 
 import numpy as np
 
-from benchmarks.conftest import BENCH_DURATION, BENCH_SCALE, BENCH_SEED, run_once
+from benchmarks.conftest import (
+    BENCH_DURATION,
+    BENCH_SCALE,
+    BENCH_SEED,
+    bench_engine,
+    run_once,
+)
 from repro.experiments.figures import figure11
 
 
@@ -23,7 +29,7 @@ def test_fig11_dcm_vs_conscale(benchmark, results_dir):
     data = run_once(
         benchmark, figure11,
         load_scale=BENCH_SCALE, duration=BENCH_DURATION, seed=BENCH_SEED,
-        runtime_dataset_scale=0.5,
+        runtime_dataset_scale=0.5, engine=bench_engine(grid=2),
     )
     print()
     print(data.render())

@@ -18,7 +18,13 @@ Note: on our simulated substrate, slow single-ramp traces
 both frameworks tie there — see EXPERIMENTS.md for the discussion.
 """
 
-from benchmarks.conftest import BENCH_DURATION, BENCH_SCALE, BENCH_SEED, run_once
+from benchmarks.conftest import (
+    BENCH_DURATION,
+    BENCH_SCALE,
+    BENCH_SEED,
+    bench_engine,
+    run_once,
+)
 from repro.experiments.figures import table1
 from repro.workload.shapes import TRACE_NAMES
 
@@ -27,6 +33,7 @@ def test_table1_tail_latency(benchmark, results_dir):
     data = run_once(
         benchmark, table1,
         load_scale=BENCH_SCALE, duration=BENCH_DURATION, seed=BENCH_SEED,
+        engine=bench_engine(grid=2 * len(TRACE_NAMES)),
     )
     print()
     print(data.render())

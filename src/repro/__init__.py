@@ -24,7 +24,14 @@ Quickstart::
 """
 
 from repro.errors import ReproError
-from repro.experiments.runner import FRAMEWORKS, ExperimentResult, run_experiment
+from repro.experiments.artifact import RunArtifact, RunOverrides, RunSpec
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.runner import (
+    FRAMEWORKS,
+    ExperimentResult,
+    execute_spec,
+    run_experiment,
+)
 from repro.experiments.scenarios import ScenarioConfig
 from repro.ntier.app import NTierApplication, SoftResourceAllocation
 from repro.rng import RngRegistry
@@ -41,7 +48,12 @@ __all__ = [
     "ReproError",
     "FRAMEWORKS",
     "ExperimentResult",
+    "ExperimentEngine",
+    "RunSpec",
+    "RunOverrides",
+    "RunArtifact",
     "run_experiment",
+    "execute_spec",
     "ScenarioConfig",
     "NTierApplication",
     "SoftResourceAllocation",

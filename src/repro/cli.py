@@ -11,6 +11,12 @@ Commands:
 * ``traces`` — list the six built-in trace shapes.
 
 Figures print their series and write CSVs under ``--results``.
+
+Experiment-running commands (``run``, ``compare``, ``sweep``,
+``table1``, ``figure``) go through the experiment engine: ``--jobs N``
+fans independent runs out across worker processes, results are cached
+under ``results/cache/`` by spec content digest, and ``--no-cache``
+forces re-execution.
 """
 
 from __future__ import annotations
@@ -19,7 +25,9 @@ import argparse
 import os
 import sys
 
+from repro.errors import ReproError
 from repro.experiments import figures as figures_mod
+from repro.experiments.artifact import RunSpec
 from repro.experiments.calibration import (
     Calibration,
     ample_capacity,
@@ -27,8 +35,9 @@ from repro.experiments.calibration import (
     db_capacity_cpu,
     db_capacity_io,
 )
+from repro.experiments.engine import DEFAULT_CACHE_DIR, ExperimentEngine, RunEvent
 from repro.experiments.report import ensure_results_dir, format_table
-from repro.experiments.runner import FRAMEWORKS, run_experiment
+from repro.experiments.runner import FRAMEWORKS
 from repro.experiments.scenarios import ScenarioConfig
 from repro.experiments.sweep import concurrency_sweep
 from repro.workload.mixes import browse_only_mix, read_write_mix
@@ -47,6 +56,46 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
                         help="load scale (1 = paper scale, slower)")
     parser.add_argument("--duration", type=float, default=700.0)
     parser.add_argument("--seed", type=int, default=3)
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run up to N experiments in parallel worker processes",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache (always re-run)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+
+
+def _print_event(event: RunEvent) -> None:
+    tag = f"[{event.index + 1}/{event.total}]"
+    if event.kind == "start":
+        print(f"{tag} running {event.label} ...", file=sys.stderr)
+    elif event.kind == "hit":
+        print(f"{tag} cached  {event.label}", file=sys.stderr)
+    elif event.kind == "done":
+        print(f"{tag} done    {event.label} ({event.seconds:.1f}s)",
+              file=sys.stderr)
+
+
+def _engine(args: argparse.Namespace) -> ExperimentEngine:
+    return ExperimentEngine(
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", DEFAULT_CACHE_DIR),
+        use_cache=not getattr(args, "no_cache", False),
+        progress=_print_event,
+    )
+
+
+def _report_cache(engine: ExperimentEngine) -> None:
+    if engine.cache is not None:
+        print(f"cache: {engine.stats.describe()}")
 
 
 def _config(args: argparse.Namespace) -> ScenarioConfig:
@@ -72,21 +121,28 @@ _TAIL_HEADERS = ["framework", "requests", "p50_ms", "p95_ms", "p99_ms", "max_vms
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(args.framework, _config(args))
+    engine = _engine(args)
+    result = engine.run(RunSpec(args.framework, _config(args)))
     print(format_table(_TAIL_HEADERS, [_tail_row(args.framework, result)]))
+    _report_cache(engine)
     if args.save:
         from repro.experiments.persistence import save_result
 
         print(f"summary written to {save_result(result, args.save)}")
+    if args.save_artifact:
+        from repro.experiments.persistence import save_artifact
+
+        print(f"artifact written to {save_artifact(result, args.save_artifact)}")
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    engine = _engine(args)
+    config = _config(args)
+    results = engine.run_many(RunSpec(fw, config) for fw in FRAMEWORKS)
     rows = []
     summaries = []
-    for framework in FRAMEWORKS:
-        print(f"running {framework} on {args.trace} ...", file=sys.stderr)
-        result = run_experiment(framework, _config(args))
+    for framework, result in zip(FRAMEWORKS, results):
         rows.append(_tail_row(framework, result))
         if args.save or args.html:
             from repro.experiments.persistence import result_summary
@@ -99,6 +155,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 result, os.path.join(args.save, f"{framework}_{args.trace}.json")
             )
     print(format_table(_TAIL_HEADERS, rows))
+    _report_cache(engine)
     if args.save:
         print(f"summaries written under {args.save}/")
     if args.html:
@@ -133,9 +190,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "db": ample,
         }
     levels = sorted({int(x) for x in args.levels.split(",")})
+    engine = _engine(args)
     result = concurrency_sweep(
         args.tier, caps, mix, levels, duration=args.duration,
-        dataset_scale=args.dataset,
+        dataset_scale=args.dataset, engine=engine,
     )
     rows = [
         (p.concurrency, round(p.measured_concurrency, 1),
@@ -147,35 +205,52 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ["level", "measured_Q", "throughput_rps", "rt_ms", "util"], rows
     ))
     print(f"\nQ_lower (optimal concurrency): {result.q_lower()}")
+    _report_cache(engine)
     return 0
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
+    traces = (
+        tuple(t.strip() for t in args.traces.split(",") if t.strip())
+        if args.traces
+        else TRACE_NAMES
+    )
+    unknown = sorted(set(traces) - set(TRACE_NAMES))
+    if unknown:
+        print(f"unknown traces: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    engine = _engine(args)
     data = figures_mod.table1(
-        load_scale=args.scale, duration=args.duration, seed=args.seed
+        load_scale=args.scale, duration=args.duration, seed=args.seed,
+        traces=traces, engine=engine,
     )
     print(data.render())
     data.to_csv(ensure_results_dir(args.results))
+    _report_cache(engine)
     return 0
 
 
 _FIGURES = {
-    "1": lambda a: figures_mod.figure1(a.scale, a.duration, a.seed),
-    "3": lambda a: figures_mod.figure3(),
-    "5": lambda a: figures_mod.figure5(a.scale, min(a.duration, 300.0), a.seed),
-    "6": lambda a: figures_mod.figure6(),
-    "7": lambda a: figures_mod.figure7(),
-    "9": lambda a: figures_mod.figure9(),
-    "10": lambda a: figures_mod.figure10(a.scale, a.duration, a.seed),
-    "11": lambda a: figures_mod.figure11(a.scale, a.duration, a.seed),
+    "1": lambda a, e: figures_mod.figure1(a.scale, a.duration, a.seed, engine=e),
+    "3": lambda a, e: figures_mod.figure3(engine=e),
+    "5": lambda a, e: figures_mod.figure5(
+        a.scale, min(a.duration, 300.0), a.seed, engine=e
+    ),
+    "6": lambda a, e: figures_mod.figure6(),
+    "7": lambda a, e: figures_mod.figure7(engine=e),
+    "9": lambda a, e: figures_mod.figure9(),
+    "10": lambda a, e: figures_mod.figure10(a.scale, a.duration, a.seed, engine=e),
+    "11": lambda a, e: figures_mod.figure11(a.scale, a.duration, a.seed, engine=e),
 }
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
-    data = _FIGURES[args.number](args)
+    engine = _engine(args)
+    data = _FIGURES[args.number](args, engine)
     print(data.render())
     paths = data.to_csv(ensure_results_dir(args.results))
     print("\nCSV written:", *paths, sep="\n  ")
+    _report_cache(engine)
     return 0
 
 
@@ -231,12 +306,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one framework on one trace")
     p_run.add_argument("framework", choices=FRAMEWORKS)
     _add_common_run_args(p_run)
+    _add_engine_args(p_run)
     p_run.add_argument("--save", default=None,
                        help="write a JSON result summary to this path")
+    p_run.add_argument("--save-artifact", default=None,
+                       help="pickle the full run artifact to this path")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run all frameworks on one trace")
     _add_common_run_args(p_cmp)
+    _add_engine_args(p_cmp)
     p_cmp.add_argument("--save", default=None,
                        help="write JSON result summaries into this directory")
     p_cmp.add_argument("--html", default=None,
@@ -254,16 +333,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--levels", default="2,4,6,8,10,12,15,20,25,30,40,60,80"
     )
     p_sweep.add_argument("--duration", type=float, default=20.0)
+    _add_engine_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table I")
     _add_common_run_args(p_t1)
+    _add_engine_args(p_t1)
+    p_t1.add_argument("--traces", default=None,
+                      help="comma-separated subset of the six traces")
     p_t1.add_argument("--results", default="results")
     p_t1.set_defaults(func=cmd_table1)
 
     p_fig = sub.add_parser("figure", help="regenerate one figure")
     p_fig.add_argument("number", choices=sorted(_FIGURES))
     _add_common_run_args(p_fig)
+    _add_engine_args(p_fig)
     p_fig.add_argument("--results", default="results")
     p_fig.set_defaults(func=cmd_figure)
 
@@ -286,7 +370,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,5 +1,11 @@
-"""Experiment harness: calibration, scenarios, runner, figures, reports."""
+"""Experiment harness: calibration, scenarios, engine, figures, reports."""
 
+from repro.experiments.artifact import (
+    FineSeries,
+    RunArtifact,
+    RunOverrides,
+    RunSpec,
+)
 from repro.experiments.calibration import (
     Calibration,
     app_capacity,
@@ -8,7 +14,12 @@ from repro.experiments.calibration import (
     default_calibration,
     web_capacity,
 )
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.engine import ExperimentEngine, ResultCache
+from repro.experiments.runner import (
+    ExperimentResult,
+    execute_spec,
+    run_experiment,
+)
 from repro.experiments.scenarios import ScenarioConfig
 
 __all__ = [
@@ -18,7 +29,14 @@ __all__ = [
     "db_capacity_io",
     "default_calibration",
     "web_capacity",
+    "ExperimentEngine",
+    "ResultCache",
+    "RunSpec",
+    "RunOverrides",
+    "RunArtifact",
+    "FineSeries",
     "ExperimentResult",
     "run_experiment",
+    "execute_spec",
     "ScenarioConfig",
 ]

@@ -20,8 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import EstimationError
+from repro.experiments.artifact import RunOverrides, RunSpec
 from repro.experiments.calibration import Calibration, db_capacity_cpu
-from repro.experiments.runner import run_experiment
+from repro.experiments.engine import ExperimentEngine, inline_engine
 from repro.experiments.scenarios import ScenarioConfig
 from repro.experiments.sweep import cap_ramp_scatter
 from repro.sct.model import SCTModel
@@ -134,42 +135,35 @@ def headroom_ablation(
     load_scale: float = 50.0,
     duration: float = 400.0,
     seed: int = 3,
+    engine: ExperimentEngine | None = None,
 ) -> list[AblationPoint]:
     """ConScale tail latency versus the actuation headroom.
 
     Headroom 1.0 actuates exactly at the estimated Q_lower (risking
     threshold starvation of the hardware scaler); large headroom gives
     back part of the over-allocation penalty ConScale exists to avoid.
+
+    The headroom rides in the spec's :class:`RunOverrides` (rather than
+    any controller monkey-patching), so each setting is a distinct,
+    cacheable run spec.
     """
-    out = []
+    specs = []
     for headroom in headrooms:
         config = ScenarioConfig(
             name=f"headroom-{headroom}", trace_name="large_variations",
             load_scale=load_scale, duration=duration, seed=seed,
         )
-        # run_experiment builds its own controller; patch via defaults
-        result = _run_conscale_with(config, headroom=headroom)
-        out.append(
-            AblationPoint(knob=headroom, p99_ms=result.tail().p99 * 1000.0)
+        specs.append(
+            RunSpec(
+                "conscale", config,
+                RunOverrides(conscale_headroom=float(headroom)),
+            )
         )
-    return out
-
-
-def _run_conscale_with(config: ScenarioConfig, headroom: float):
-    """run_experiment('conscale', ...) with a custom controller knob."""
-    import repro.scaling.conscale as conscale_mod
-
-    original = conscale_mod.ConScaleController.__init__
-
-    def patched(self, *args, **kwargs):  # noqa: ANN001 - passthrough
-        kwargs.setdefault("headroom", headroom)
-        original(self, *args, **kwargs)
-
-    conscale_mod.ConScaleController.__init__ = patched
-    try:
-        return run_experiment("conscale", config)
-    finally:
-        conscale_mod.ConScaleController.__init__ = original
+    artifacts = inline_engine(engine).run_many(specs)
+    return [
+        AblationPoint(knob=headroom, p99_ms=artifact.tail().p99 * 1000.0)
+        for headroom, artifact in zip(headrooms, artifacts)
+    ]
 
 
 def balancer_ablation(
@@ -177,15 +171,19 @@ def balancer_ablation(
     load_scale: float = 50.0,
     duration: float = 400.0,
     seed: int = 3,
+    engine: ExperimentEngine | None = None,
 ) -> list[AblationPoint]:
     """EC2 baseline tail latency under the two HAProxy policies."""
-    out = []
+    specs = []
     for policy in policies:
         config = ScenarioConfig(
             name=f"balancer-{policy}", trace_name="large_variations",
             load_scale=load_scale, duration=duration, seed=seed,
             balancing=policy,
         )
-        result = run_experiment("ec2", config)
-        out.append(AblationPoint(knob=policy, p99_ms=result.tail().p99 * 1000.0))
-    return out
+        specs.append(RunSpec("ec2", config))
+    artifacts = inline_engine(engine).run_many(specs)
+    return [
+        AblationPoint(knob=policy, p99_ms=artifact.tail().p99 * 1000.0)
+        for policy, artifact in zip(policies, artifacts)
+    ]

@@ -1,0 +1,366 @@
+"""Spec-addressed runs and serializable run artifacts.
+
+Two halves of the experiment engine's data model live here:
+
+* :class:`RunSpec` — a frozen, hashable description of one evaluation
+  run (framework + :class:`~repro.experiments.scenarios.ScenarioConfig`
+  + overrides). A spec has a *canonical content digest*: a SHA-256 over
+  a canonical encoding of every field, stable across processes and
+  sessions, which keys the on-disk result cache.
+* :class:`RunArtifact` — the outcome of one run with every series
+  extracted into plain numpy arrays (request log arrays, fine-grained
+  interval samples, VM/CPU timelines, SCT estimate histories). Unlike
+  the old ``ExperimentResult`` it holds **no live simulator handles**,
+  so it pickles, caches, and feeds figure code without re-touching
+  simulator objects.
+
+The digest is versioned (:data:`SCHEMA_VERSION`): bump it whenever the
+artifact layout or the simulation semantics behind a spec change, and
+every previously cached result is invalidated at load time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments.scenarios import ScenarioConfig
+from repro.monitoring.percentiles import TailSummary, tail_summary
+from repro.monitoring.records import TimelineBin
+from repro.scaling.actions import ActionLog
+from repro.scaling.dcm import DcmTrainedProfile
+from repro.scaling.estimator import TierEstimate
+from repro.scaling.policy import TierPolicyConfig
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "FRAMEWORKS",
+    "canonical",
+    "content_digest",
+    "RunOverrides",
+    "RunSpec",
+    "FineSeries",
+    "RunArtifact",
+]
+
+#: Bump to invalidate every cached artifact (layout or semantics change).
+SCHEMA_VERSION = 1
+
+FRAMEWORKS = ("ec2", "dcm", "conscale", "predictive")
+
+# Grace period after the trace ends for in-flight requests to drain
+# (also the horizon padding of the artifact's timeline).
+DRAIN_GRACE = 20.0
+
+
+# ----------------------------------------------------------------------
+# canonical encoding and digests
+# ----------------------------------------------------------------------
+
+def canonical(value):
+    """Reduce ``value`` to a deterministic tree of primitives.
+
+    Handles primitives, floats (shortest round-trip repr), dataclasses
+    (tagged with their qualified name so renames invalidate), dicts
+    (key-sorted), sequences, numpy scalars/arrays, and any object
+    exposing a ``canonical_key()`` method. Anything else is rejected
+    loudly — a silently wrong digest would poison the result cache.
+    """
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return value
+    if isinstance(value, float):
+        return ("f", repr(value))
+    if isinstance(value, np.generic):
+        return canonical(value.item())
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        return (
+            "nd",
+            str(arr.dtype),
+            arr.shape,
+            hashlib.sha256(arr.tobytes()).hexdigest(),
+        )
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        fields = tuple(
+            (f.name, canonical(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+        return ("dc", f"{cls.__module__}.{cls.__qualname__}", fields)
+    if isinstance(value, dict):
+        items = tuple(
+            sorted(((canonical(k), canonical(v)) for k, v in value.items()),
+                   key=repr)
+        )
+        return ("map", items)
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(canonical(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted((canonical(v) for v in value), key=repr)))
+    key = getattr(value, "canonical_key", None)
+    if callable(key):
+        cls = type(value)
+        return ("key", f"{cls.__module__}.{cls.__qualname__}", canonical(key()))
+    raise ConfigurationError(
+        f"cannot canonicalise {type(value).__qualname__!r} for digesting; "
+        "add a canonical_key() method or use a dataclass"
+    )
+
+
+def content_digest(value) -> str:
+    """Hex SHA-256 of the canonical encoding of ``value``."""
+    return hashlib.sha256(repr(canonical(value)).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# run specifications
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunOverrides:
+    """Optional knobs layered on top of a scenario.
+
+    Everything that changes a run's outcome must live either in the
+    :class:`ScenarioConfig` or here — the content digest covers both,
+    and out-of-band mutation (the old monkeypatching ablation style)
+    would silently alias distinct runs in the cache.
+    """
+
+    # (tier, policy) pairs instead of a dict, so the spec stays frozen.
+    policy_overrides: tuple[tuple[str, TierPolicyConfig], ...] | None = None
+    dcm_profile: DcmTrainedProfile | None = None
+    conscale_headroom: float | None = None
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.policy_overrides is None
+            and self.dcm_profile is None
+            and self.conscale_headroom is None
+        )
+
+    def policy_dict(self) -> dict[str, TierPolicyConfig] | None:
+        """The runner-facing ``{tier: policy}`` view."""
+        if self.policy_overrides is None:
+            return None
+        return dict(self.policy_overrides)
+
+
+@dataclass(frozen=True, eq=False)
+class RunSpec:
+    """A frozen, content-addressed description of one evaluation run."""
+
+    framework: str
+    config: ScenarioConfig
+    overrides: RunOverrides = field(default_factory=RunOverrides)
+
+    def __post_init__(self) -> None:
+        if self.framework not in FRAMEWORKS:
+            raise ConfigurationError(
+                f"framework must be one of {FRAMEWORKS}, got {self.framework!r}"
+            )
+
+    # ScenarioConfig nests dicts (Calibration.base_demands), so the
+    # generated field-tuple hash would fail; identity is the digest.
+    def digest(self) -> str:
+        digest = getattr(self, "_digest", None)
+        if digest is None:
+            digest = content_digest(("runspec", SCHEMA_VERSION, self))
+            object.__setattr__(self, "_digest", digest)
+        return digest
+
+    def __hash__(self) -> int:
+        return hash(self.digest())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RunSpec):
+            return NotImplemented
+        return self.digest() == other.digest()
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for progress reporting."""
+        cfg = self.config
+        return f"{self.framework}/{cfg.trace_name}@{cfg.name}#seed{cfg.seed}"
+
+
+# ----------------------------------------------------------------------
+# run artifacts
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FineSeries:
+    """One server's fine-grained interval samples as plain arrays.
+
+    Values are in the run's *scaled* domain (like the live
+    ``IntervalMonitor``): figure code converts with ``config.rt_scale``
+    exactly as it did against the warehouse.
+    """
+
+    server: str
+    tier: str
+    t_end: np.ndarray
+    concurrency: np.ndarray
+    throughput: np.ndarray
+    response_time: np.ndarray  # NaN where no request completed
+    completions: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.t_end.size)
+
+
+@dataclass
+class RunArtifact:
+    """Serializable outcome of one scenario run.
+
+    Latencies are already converted to base-scale seconds (the
+    load-scaling contract); fine-grained series stay in the scaled
+    domain like the monitors that produced them.
+    """
+
+    spec: RunSpec
+    latencies: np.ndarray
+    completion_times: np.ndarray
+    arrival_times: np.ndarray
+    interactions: np.ndarray  # RUBBoS interaction name per request
+    generated: int
+    completed: int
+    actions: ActionLog
+    vm_times: np.ndarray
+    vm_counts: np.ndarray
+    vm_counts_by_tier: dict[str, np.ndarray]
+    cpu_series: dict[str, tuple[np.ndarray, np.ndarray]]
+    estimates: dict[str, list[TierEstimate]] = field(default_factory=dict)
+    fine_series: dict[str, FineSeries] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    # identity / convenience
+    # ------------------------------------------------------------------
+    @property
+    def framework(self) -> str:
+        return self.spec.framework
+
+    @property
+    def config(self) -> ScenarioConfig:
+        return self.spec.config
+
+    @property
+    def monitored_servers(self) -> list[str]:
+        """Servers with retained fine-grained series (end-of-run set)."""
+        return sorted(self.fine_series)
+
+    def signature(self) -> str:
+        """Content digest of the artifact's numeric series.
+
+        Two runs of the same spec must produce the same signature —
+        this is the determinism contract the engine tests pin down
+        (sequential vs parallel, in-memory vs cache round-trip).
+        """
+        return content_digest(
+            (
+                "artifact",
+                self.schema,
+                self.spec.digest(),
+                self.latencies,
+                self.completion_times,
+                self.arrival_times,
+                self.vm_times,
+                self.vm_counts,
+                self.vm_counts_by_tier,
+                self.cpu_series,
+                [
+                    (t, e.time, e.optimal, e.q_upper, e.actionable)
+                    for t, hist in sorted(self.estimates.items())
+                    for e in hist
+                ],
+                [
+                    (s.server, s.t_end, s.concurrency, s.throughput,
+                     s.completions)
+                    for _, s in sorted(self.fine_series.items())
+                ],
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # derived metrics (the old ExperimentResult interface)
+    # ------------------------------------------------------------------
+    def vm_seconds(self) -> float:
+        """Total billable VM-seconds over the run (the cost metric)."""
+        if self.vm_times.size < 2:
+            return 0.0
+        dt = np.diff(self.vm_times)
+        return float(np.sum(self.vm_counts[:-1] * dt))
+
+    def tail(self, after: float | None = None) -> TailSummary:
+        """Tail-latency summary, optionally skipping a warm-up period."""
+        cutoff = self.config.warmup if after is None else after
+        lat = self.latencies[self.completion_times >= cutoff]
+        if lat.size == 0:
+            raise ExperimentError("no completed requests after the warm-up cutoff")
+        return tail_summary(lat)
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile over the post-warm-up window (seconds)."""
+        return getattr(self.tail(), f"p{int(q)}") if q in (50, 95, 99) else float(
+            np.percentile(
+                self.latencies[self.completion_times >= self.config.warmup], q
+            )
+        )
+
+    def by_interaction(self, after: float = 0.0) -> dict[str, np.ndarray]:
+        """Base-scale latencies grouped by RUBBoS interaction type."""
+        mask = self.completion_times >= after
+        out: dict[str, np.ndarray] = {}
+        names = self.interactions[mask]
+        lats = self.latencies[mask]
+        for name in np.unique(names):
+            out[str(name)] = lats[names == name]
+        return out
+
+    def timeline(self, bin_width: float | None = None) -> list[TimelineBin]:
+        """Latency/throughput timeline with base-scale values.
+
+        Computed from the stored request arrays; bins with zero
+        completions report zero throughput and NaN latencies so plots
+        show gaps rather than interpolated values.
+        """
+        width = bin_width if bin_width is not None else self.config.timeline_bin
+        if width <= 0:
+            raise ExperimentError(f"bin_width must be > 0, got {width!r}")
+        duration = self.config.duration + DRAIN_GRACE
+        comp = self.completion_times
+        lats = self.latencies
+        n_bins = max(1, int(np.ceil(duration / width)))
+        idx = np.minimum((comp / width).astype(int), n_bins - 1)
+        # completions-per-wall-second is in the scaled domain; multiply
+        # by rt_scale to report base-scale requests/second.
+        tp_scale = self.config.rt_scale / width
+        bins: list[TimelineBin] = []
+        for b in range(n_bins):
+            mask = idx == b
+            n = int(mask.sum())
+            if n > 0:
+                r = lats[mask]
+                mean_rt = float(r.mean())
+                p95 = float(np.percentile(r, 95))
+                mx = float(r.max())
+            else:
+                mean_rt = p95 = mx = math.nan
+            bins.append(
+                TimelineBin(
+                    t_start=b * width,
+                    t_end=(b + 1) * width,
+                    completions=n,
+                    throughput=n * tp_scale,
+                    mean_rt=mean_rt,
+                    p95_rt=p95,
+                    max_rt=mx,
+                )
+            )
+        return bins

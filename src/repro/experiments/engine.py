@@ -1,0 +1,303 @@
+"""The experiment engine: cached, parallel execution of run specs.
+
+The engine executes an iterable of :class:`~repro.experiments.artifact.
+RunSpec`s (or any content-keyed task) either inline or fanned out
+across a :class:`concurrent.futures.ProcessPoolExecutor`, with a
+content-addressed on-disk result cache under ``results/cache/``:
+
+* cache keys are the spec's canonical digest — same spec, same key, on
+  any machine and in any process;
+* cache entries are pickled envelopes stamped with the schema version;
+  a version mismatch or an unreadable file counts as an *invalidation*
+  (the entry is deleted and the run re-executed);
+* hit/miss/invalidation counts are accounted per engine
+  (:class:`CacheStats`), and ``use_cache=False`` is the escape hatch;
+* per-run progress events (start / hit / done / stored) flow through a
+  caller-supplied callback.
+
+Determinism is a tested contract: a spec's artifact is bit-identical
+whether it ran inline, in a worker process, or came back from the
+cache (``tests/experiments/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments.artifact import SCHEMA_VERSION, RunArtifact, RunSpec
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "RunEvent",
+    "ExperimentEngine",
+    "inline_engine",
+]
+
+DEFAULT_CACHE_DIR = os.path.join("results", "cache")
+
+
+# ----------------------------------------------------------------------
+# the content-addressed result cache
+# ----------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation accounting for one engine lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    stores: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.invalidations} invalidated"
+        )
+
+
+class ResultCache:
+    """Pickled payloads keyed by content digest, one file per key.
+
+    Writes are atomic (temp file + ``os.replace``) so a crashed or
+    parallel run can never leave a torn entry behind; torn/garbage
+    entries from other causes are detected at load, counted as
+    invalidations, and deleted.
+    """
+
+    def __init__(self, directory: str = DEFAULT_CACHE_DIR) -> None:
+        self.directory = directory
+        self.stats = CacheStats()
+
+    def path(self, key: str) -> str:
+        if not key or any(c in key for c in "/\\"):
+            raise ConfigurationError(f"bad cache key {key!r}")
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def load(self, key: str) -> Any | None:
+        """Return the cached payload, or None on miss/invalidation."""
+        path = self.path(key)
+        try:
+            with open(path, "rb") as fh:
+                envelope = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:  # torn write, foreign file, unpicklable class
+            self._invalidate(path)
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("schema") != SCHEMA_VERSION
+            or envelope.get("key") != key
+        ):
+            self._invalidate(path)
+            return None
+        self.stats.hits += 1
+        return envelope["payload"]
+
+    def store(self, key: str, payload: Any) -> str:
+        """Atomically write one payload; returns the entry path."""
+        path = self.path(key)
+        os.makedirs(self.directory, exist_ok=True)
+        envelope = {"schema": SCHEMA_VERSION, "key": key, "payload": payload}
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def _invalidate(self, path: str) -> None:
+        self.stats.invalidations += 1
+        self.stats.misses += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# progress telemetry
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One progress event: ``kind`` is start | hit | done | stored."""
+
+    kind: str
+    label: str
+    index: int
+    total: int
+    key: str | None = None
+    seconds: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+class ExperimentEngine:
+    """Executes content-keyed tasks with caching and process fan-out.
+
+    ``jobs`` > 1 runs cache-missing tasks across a
+    ``ProcessPoolExecutor``; results are returned in submission order
+    regardless of completion order, and cache writes happen in the
+    parent so concurrent engines never race on entry files beyond the
+    atomic-replace guarantee.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str = DEFAULT_CACHE_DIR,
+        use_cache: bool = True,
+        progress: Callable[[RunEvent], None] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs!r}")
+        self.jobs = int(jobs)
+        self.cache = ResultCache(cache_dir) if use_cache else None
+        self.progress = progress
+        self.executed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """Cache accounting (all-zero when caching is disabled)."""
+        return self.cache.stats if self.cache is not None else CacheStats()
+
+    def _emit(self, event: RunEvent) -> None:
+        if self.progress is not None:
+            self.progress(event)
+
+    # ------------------------------------------------------------------
+    # generic task execution
+    # ------------------------------------------------------------------
+    def run_tasks(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        keys: Sequence[str | None] | None = None,
+        labels: Sequence[str] | None = None,
+    ) -> list[Any]:
+        """Run ``fn(payload)`` for every payload, in order.
+
+        ``fn`` must be a module-level callable (it crosses process
+        boundaries when ``jobs`` > 1). ``keys[i]`` is the cache key for
+        payload ``i`` (None disables caching for that task).
+        """
+        payloads = list(payloads)
+        total = len(payloads)
+        keys = list(keys) if keys is not None else [None] * total
+        labels = list(labels) if labels is not None else [
+            f"task-{i}" for i in range(total)
+        ]
+        if not (len(keys) == len(labels) == total):
+            raise ConfigurationError("payloads/keys/labels length mismatch")
+
+        results: list[Any] = [None] * total
+        pending: list[int] = []
+        for i, key in enumerate(keys):
+            cached = self.cache.load(key) if (self.cache and key) else None
+            if cached is not None:
+                results[i] = cached
+                self._emit(RunEvent("hit", labels[i], i, total, key))
+            else:
+                pending.append(i)
+
+        if not pending:
+            return results
+        if self.jobs > 1 and len(pending) > 1:
+            self._run_pool(fn, payloads, keys, labels, results, pending, total)
+        else:
+            for i in pending:
+                self._emit(RunEvent("start", labels[i], i, total, keys[i]))
+                t0 = time.perf_counter()
+                results[i] = fn(payloads[i])
+                self.executed += 1
+                self._emit(
+                    RunEvent("done", labels[i], i, total, keys[i],
+                             time.perf_counter() - t0)
+                )
+                self._store(keys[i], labels[i], results[i], i, total)
+        return results
+
+    def _run_pool(self, fn, payloads, keys, labels, results, pending, total):
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            t0 = time.perf_counter()
+            futures = {}
+            for i in pending:
+                self._emit(RunEvent("start", labels[i], i, total, keys[i]))
+                futures[pool.submit(fn, payloads[i])] = i
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = futures[future]
+                    results[i] = future.result()  # re-raises worker errors
+                    self.executed += 1
+                    self._emit(
+                        RunEvent("done", labels[i], i, total, keys[i],
+                                 time.perf_counter() - t0)
+                    )
+                    self._store(keys[i], labels[i], results[i], i, total)
+
+    def _store(self, key, label, payload, index, total):
+        if self.cache is not None and key:
+            self.cache.store(key, payload)
+            self._emit(RunEvent("stored", label, index, total, key))
+
+    # ------------------------------------------------------------------
+    # spec-addressed execution
+    # ------------------------------------------------------------------
+    def run_many(self, specs: Iterable[RunSpec]) -> list[RunArtifact]:
+        """Execute run specs (cached, possibly parallel), in order."""
+        from repro.experiments.runner import execute_spec
+
+        specs = list(specs)
+        artifacts = self.run_tasks(
+            execute_spec,
+            specs,
+            keys=[s.digest() for s in specs],
+            labels=[s.label for s in specs],
+        )
+        for spec, artifact in zip(specs, artifacts):
+            if not isinstance(artifact, RunArtifact):
+                raise ExperimentError(
+                    f"spec {spec.label} produced {type(artifact).__name__}, "
+                    "not a RunArtifact (corrupted cache entry?)"
+                )
+        return artifacts
+
+    def run(self, spec: RunSpec) -> RunArtifact:
+        """Execute one run spec (cached)."""
+        return self.run_many([spec])[0]
+
+
+def inline_engine(engine: ExperimentEngine | None) -> ExperimentEngine:
+    """The engine to use when a caller passed None: sequential, uncached.
+
+    Keeps library entry points (figure functions, ablations, sweeps)
+    side-effect free by default — only callers that opt in (CLI,
+    benchmarks) touch ``results/cache/``.
+    """
+    return engine if engine is not None else ExperimentEngine(
+        jobs=1, use_cache=False
+    )

@@ -22,8 +22,10 @@ from repro.experiments.calibration import (
     db_capacity_cpu,
     db_capacity_io,
 )
+from repro.experiments.artifact import RunSpec
+from repro.experiments.engine import ExperimentEngine, inline_engine
 from repro.experiments.report import ascii_chart, format_table, write_csv
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentResult
 from repro.experiments.scenarios import ScenarioConfig
 from repro.experiments.sweep import SweepResult, concurrency_sweep
 from repro.monitoring.percentiles import TailSummary
@@ -149,14 +151,15 @@ class Fig1Data:
 
 
 def figure1(
-    load_scale: float = 50.0, duration: float = 700.0, seed: int = 3
+    load_scale: float = 50.0, duration: float = 700.0, seed: int = 3,
+    engine: ExperimentEngine | None = None,
 ) -> Fig1Data:
     """Fig. 1: large RT fluctuations of hardware-only scaling."""
     config = ScenarioConfig(
         name="fig1", trace_name="large_variations",
         load_scale=load_scale, duration=duration, seed=seed,
     )
-    result = run_experiment("ec2", config)
+    result = inline_engine(engine).run(RunSpec("ec2", config))
     return Fig1Data(timeline=FrameworkTimeline.from_result(result))
 
 
@@ -197,10 +200,11 @@ def _sweep_case(
     duration: float,
     dataset_scale: float = 1.0,
     seed: int = 7,
+    engine: ExperimentEngine | None = None,
 ) -> SweepCase:
     result = concurrency_sweep(
         target, capacities, mix, levels, duration=duration,
-        dataset_scale=dataset_scale, seed=seed,
+        dataset_scale=dataset_scale, seed=seed, engine=engine,
     )
     return SweepCase(label=label, result=result, q_lower=result.q_lower())
 
@@ -233,7 +237,10 @@ class Fig3Data:
         return paths
 
 
-def figure3(duration: float = 20.0, seed: int = 7) -> Fig3Data:
+def figure3(
+    duration: float = 20.0, seed: int = 7,
+    engine: ExperimentEngine | None = None,
+) -> Fig3Data:
     """Fig. 3: Tomcat's optimal concurrency under 1-core / 2-core /
     2-core-with-doubled-dataset conditions."""
     cal = Calibration()
@@ -243,12 +250,12 @@ def figure3(duration: float = 20.0, seed: int = 7) -> Fig3Data:
         _sweep_case(
             "Tomcat 1-core", APP,
             {"web": ample_capacity(), "app": app_capacity(1.0), "db": ample_capacity()},
-            mix, levels, duration, seed=seed,
+            mix, levels, duration, seed=seed, engine=engine,
         ),
         _sweep_case(
             "Tomcat 2-core", APP,
             {"web": ample_capacity(), "app": app_capacity(2.0), "db": ample_capacity()},
-            mix, levels, duration, seed=seed,
+            mix, levels, duration, seed=seed, engine=engine,
         ),
         _sweep_case(
             "Tomcat 2-core, 2x dataset", APP,
@@ -257,7 +264,7 @@ def figure3(duration: float = 20.0, seed: int = 7) -> Fig3Data:
                 "app": app_capacity(2.0, dataset_scale=2.0),
                 "db": ample_capacity(),
             },
-            mix, levels, duration, dataset_scale=2.0, seed=seed,
+            mix, levels, duration, dataset_scale=2.0, seed=seed, engine=engine,
         ),
     ]
     return Fig3Data(cases=cases)
@@ -307,7 +314,10 @@ class Fig7Data:
         ]
 
 
-def figure7(duration: float = 20.0, seed: int = 7) -> Fig7Data:
+def figure7(
+    duration: float = 20.0, seed: int = 7,
+    engine: ExperimentEngine | None = None,
+) -> Fig7Data:
     """Fig. 7: Q_lower shifts under vertical scaling, dataset growth,
     and workload-type change."""
     cal = Calibration()
@@ -321,32 +331,32 @@ def figure7(duration: float = 20.0, seed: int = 7) -> Fig7Data:
         "db_1core": _sweep_case(
             "MySQL 1-core (browse)", DB,
             {"web": ample, "app": ample, "db": db_capacity_cpu(1.0)},
-            mix, db_levels, duration, seed=seed,
+            mix, db_levels, duration, seed=seed, engine=engine,
         ),
         "db_2core": _sweep_case(
             "MySQL 2-core (browse)", DB,
             {"web": ample, "app": ample, "db": db_capacity_cpu(2.0)},
-            mix, db_levels, duration, seed=seed,
+            mix, db_levels, duration, seed=seed, engine=engine,
         ),
         "tomcat_orig": _sweep_case(
             "Tomcat original dataset", APP,
             {"web": ample, "app": app_capacity(1.0), "db": ample},
-            mix, app_levels, duration, seed=seed,
+            mix, app_levels, duration, seed=seed, engine=engine,
         ),
         "tomcat_2x": _sweep_case(
             "Tomcat enlarged dataset", APP,
             {"web": ample, "app": app_capacity(1.0, 2.0), "db": ample},
-            mix, app_levels, duration, dataset_scale=2.0, seed=seed,
+            mix, app_levels, duration, dataset_scale=2.0, seed=seed, engine=engine,
         ),
         "db_cpu": _sweep_case(
             "MySQL CPU-intensive", DB,
             {"web": ample, "app": ample, "db": db_capacity_cpu(1.0, 1.0 / 15.0)},
-            mix, db_levels, duration, seed=seed,
+            mix, db_levels, duration, seed=seed, engine=engine,
         ),
         "db_io": _sweep_case(
             "MySQL I/O-intensive", DB,
             {"web": ample, "app": ample, "db": db_capacity_io(1.0)},
-            mix_io, io_levels, duration, seed=seed,
+            mix_io, io_levels, duration, seed=seed, engine=engine,
         ),
     }
     return Fig7Data(cases=cases)
@@ -433,10 +443,7 @@ class Fig6Data:
 
 
 def _pick_db_server(result: ExperimentResult) -> str:
-    warehouse = result.warehouse
-    if warehouse is None:
-        raise ExperimentError("run did not retain its warehouse")
-    candidates = [n for n in warehouse.monitored_servers if n.startswith("db")]
+    candidates = [n for n in result.monitored_servers if n.startswith("db")]
     if not candidates:
         raise ExperimentError("no monitored DB server in the run")
     return sorted(candidates)[0]
@@ -445,6 +452,7 @@ def _pick_db_server(result: ExperimentResult) -> str:
 def figure5(
     load_scale: float = 50.0, duration: float = 300.0, seed: int = 3,
     window: float = 20.0,
+    engine: ExperimentEngine | None = None,
 ) -> Fig5Data:
     """Fig. 5: fine-grained MySQL monitoring right after the first
     app-tier scale-out under hardware-only scaling."""
@@ -452,29 +460,24 @@ def figure5(
         name="fig5", trace_name="large_variations",
         load_scale=load_scale, duration=duration, seed=seed,
     )
-    result = run_experiment("ec2", config)
+    result = inline_engine(engine).run(RunSpec("ec2", config))
     app_outs = result.actions.scale_out_times(APP)
     if not app_outs:
         raise ExperimentError("no app scale-out occurred; lengthen the run")
     t0 = app_outs[0]
     server = _pick_db_server(result)
-    samples = [
-        s
-        for s in result.warehouse.fine_samples(server, window=duration + 60.0)
-        if t0 - window * 0.25 <= s.t_end <= t0 + window
-    ]
-    if not samples:
+    fine = result.fine_series[server]
+    mask = (fine.t_end >= t0 - window * 0.25) & (fine.t_end <= t0 + window)
+    if not mask.any():
         raise ExperimentError("no fine-grained samples in the requested window")
     scale = config.rt_scale
     return Fig5Data(
         server=server,
         scale_time=t0,
-        times=np.array([s.t_end for s in samples]),
-        concurrency=np.array([s.concurrency for s in samples]),
-        throughput=np.array([s.throughput * scale for s in samples]),
-        response_time=np.array(
-            [s.response_time / scale for s in samples]
-        ),
+        times=fine.t_end[mask],
+        concurrency=fine.concurrency[mask],
+        throughput=fine.throughput[mask] * scale,
+        response_time=fine.response_time[mask] / scale,
     )
 
 
@@ -599,7 +602,8 @@ class Fig10Data:
 
 
 def figure10(
-    load_scale: float = 50.0, duration: float = 700.0, seed: int = 3
+    load_scale: float = 50.0, duration: float = 700.0, seed: int = 3,
+    engine: ExperimentEngine | None = None,
 ) -> Fig10Data:
     """Fig. 10: performance fluctuations of EC2-AutoScaling vs the
     stability of ConScale under the same bursty trace."""
@@ -607,8 +611,9 @@ def figure10(
         name="fig10", trace_name="large_variations",
         load_scale=load_scale, duration=duration, seed=seed,
     )
-    ec2 = run_experiment("ec2", config)
-    conscale = run_experiment("conscale", config)
+    ec2, conscale = inline_engine(engine).run_many(
+        [RunSpec("ec2", config), RunSpec("conscale", config)]
+    )
     return Fig10Data(
         ec2=FrameworkTimeline.from_result(ec2),
         conscale=FrameworkTimeline.from_result(conscale),
@@ -671,6 +676,7 @@ class Fig11Data:
 def figure11(
     load_scale: float = 50.0, duration: float = 700.0, seed: int = 3,
     runtime_dataset_scale: float = 0.5,
+    engine: ExperimentEngine | None = None,
 ) -> Fig11Data:
     """Fig. 11: the system state (dataset size) changes after DCM's
     offline training; ConScale re-estimates online, DCM cannot."""
@@ -681,8 +687,9 @@ def figure11(
     )
     # DCM's profile is trained on the ORIGINAL dataset (the default
     # calibration) — the runtime mismatch is the whole experiment.
-    dcm = run_experiment("dcm", config)
-    conscale = run_experiment("conscale", config)
+    dcm, conscale = inline_engine(engine).run_many(
+        [RunSpec("dcm", config), RunSpec("conscale", config)]
+    )
     trained = next(
         (a.value for a in dcm.actions.of_kind("soft_app_threads")), 0
     )
@@ -749,15 +756,24 @@ def table1(
     seed: int = 3,
     traces: tuple[str, ...] = TRACE_NAMES,
     frameworks: tuple[str, ...] = ("ec2", "conscale"),
+    engine: ExperimentEngine | None = None,
 ) -> Table1Data:
-    """Table I: tail-latency comparison across the six bursty traces."""
-    data = Table1Data()
+    """Table I: tail-latency comparison across the six bursty traces.
+
+    The full grid (``len(traces) * len(frameworks)`` specs) is handed to
+    the engine in one batch, so ``--jobs N`` parallelises across both
+    axes and cached cells are skipped individually.
+    """
+    specs = []
     for trace in traces:
         config = ScenarioConfig(
             name=f"table1-{trace}", trace_name=trace,
             load_scale=load_scale, duration=duration, seed=seed,
         )
-        data.results[trace] = {
-            fw: run_experiment(fw, config).tail() for fw in frameworks
-        }
+        specs.extend(RunSpec(fw, config) for fw in frameworks)
+    artifacts = inline_engine(engine).run_many(specs)
+    data = Table1Data()
+    for spec, artifact in zip(specs, artifacts):
+        by_fw = data.results.setdefault(spec.config.trace_name, {})
+        by_fw[spec.framework] = artifact.tail()
     return data

@@ -1,10 +1,16 @@
-"""Persist experiment outcomes as JSON summaries.
+"""Persist experiment outcomes.
 
-A full :class:`~repro.experiments.runner.ExperimentResult` holds live
-simulator objects; for archiving, cross-run comparison and external
-plotting we serialise a self-contained summary: scenario key fields,
-tail latencies, the binned timeline, VM counts, scaling actions and the
-SCT estimate history.
+Two serialisation levels:
+
+* **JSON summaries** (:func:`save_result` / :func:`load_summary`) — a
+  compact, language-neutral digest of one run: scenario key fields,
+  tail latencies, the binned timeline, VM counts, scaling actions and
+  the SCT estimate history. For archiving and external plotting.
+* **Full artifacts** (:func:`save_artifact` / :func:`load_artifact`) —
+  the complete :class:`~repro.experiments.artifact.RunArtifact` as a
+  pickle, lossless down to the fine-grained interval series. The
+  loaded artifact is interchangeable with the in-memory one (same
+  ``signature()``), so figure code can consume it directly.
 """
 
 from __future__ import annotations
@@ -12,12 +18,20 @@ from __future__ import annotations
 import json
 import math
 import os
+import pickle
 from typing import Any
 
 from repro.errors import ExperimentError
+from repro.experiments.artifact import SCHEMA_VERSION, RunArtifact
 from repro.experiments.runner import ExperimentResult
 
-__all__ = ["result_summary", "save_result", "load_summary"]
+__all__ = [
+    "result_summary",
+    "save_result",
+    "load_summary",
+    "save_artifact",
+    "load_artifact",
+]
 
 
 def _clean(value: float) -> float | None:
@@ -119,3 +133,33 @@ def load_summary(path: str) -> dict:
                 f"{path!r} is not a result summary (missing {key!r})"
             )
     return data
+
+
+def save_artifact(artifact: RunArtifact, path: str) -> str:
+    """Pickle one full run artifact; returns the path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "wb") as fh:
+        pickle.dump(artifact, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_artifact(path: str) -> RunArtifact:
+    """Load an artifact written by :func:`save_artifact`."""
+    try:
+        with open(path, "rb") as fh:
+            artifact = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise ExperimentError(f"cannot load artifact {path!r}: {exc}") from exc
+    if not isinstance(artifact, RunArtifact):
+        raise ExperimentError(
+            f"{path!r} does not contain a RunArtifact "
+            f"(got {type(artifact).__name__})"
+        )
+    if artifact.schema != SCHEMA_VERSION:
+        raise ExperimentError(
+            f"{path!r} has artifact schema {artifact.schema}, "
+            f"this build expects {SCHEMA_VERSION}"
+        )
+    return artifact

@@ -2,23 +2,35 @@
 
 ``run_experiment("conscale", config)`` builds the whole stack — cloud,
 application, workload, monitoring, controller — runs the trace, and
-returns an :class:`ExperimentResult` with latencies already converted
-back to base-scale seconds (see :class:`~repro.experiments.scenarios.
-ScenarioConfig` for the load-scaling contract).
+returns a :class:`~repro.experiments.artifact.RunArtifact` with
+latencies already converted back to base-scale seconds (see
+:class:`~repro.experiments.scenarios.ScenarioConfig` for the
+load-scaling contract).
+
+The spec-addressed entry point is :func:`execute_spec`; it is a
+module-level function so the experiment engine can ship specs to
+worker processes. ``run_experiment`` is the convenience wrapper that
+builds the spec for you.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from repro.errors import ConfigurationError, ExperimentError
+from repro.analysis.series import group_mean_by_time
+from repro.errors import ConfigurationError
+from repro.experiments.artifact import (
+    DRAIN_GRACE,
+    FRAMEWORKS,
+    FineSeries,
+    RunArtifact,
+    RunOverrides,
+    RunSpec,
+)
 from repro.experiments.calibration import app_capacity, db_capacity_cpu
 from repro.experiments.scenarios import ScenarioConfig
 from repro.cloud.hypervisor import Hypervisor
-from repro.monitoring.percentiles import TailSummary, tail_summary
-from repro.monitoring.records import RequestLog, TimelineBin
+from repro.monitoring.records import RequestLog
 from repro.monitoring.warehouse import MetricWarehouse
 from repro.ntier.app import APP, DB, WEB, NTierApplication
 from repro.rng import RngRegistry
@@ -40,83 +52,19 @@ from repro.workload.mixes import WorkloadMix, browse_only_mix, read_write_mix
 from repro.workload.shapes import make_trace
 from repro.workload.trace import Trace
 
-__all__ = ["ExperimentResult", "run_experiment", "FRAMEWORKS"]
+__all__ = [
+    "ExperimentResult",
+    "run_experiment",
+    "execute_spec",
+    "FRAMEWORKS",
+]
 
-FRAMEWORKS = ("ec2", "dcm", "conscale", "predictive")
+# The serializable artifact replaced the old live-handle result; the
+# alias keeps existing imports working.
+ExperimentResult = RunArtifact
 
-# Grace period after the trace ends for in-flight requests to drain.
-_DRAIN_GRACE = 20.0
-
-
-@dataclass
-class ExperimentResult:
-    """Outcome of one scenario run (latencies in base-scale seconds)."""
-
-    framework: str
-    config: ScenarioConfig
-    latencies: np.ndarray
-    completion_times: np.ndarray
-    generated: int
-    completed: int
-    actions: ActionLog
-    vm_times: np.ndarray
-    vm_counts: np.ndarray
-    vm_counts_by_tier: dict[str, np.ndarray]
-    cpu_series: dict[str, tuple[np.ndarray, np.ndarray]]
-    estimates: dict[str, list[TierEstimate]] = field(default_factory=dict)
-    # Live handles for figure code that needs fine-grained data.
-    warehouse: MetricWarehouse | None = field(default=None, repr=False)
-    request_log: RequestLog | None = field(default=None, repr=False)
-
-    # ------------------------------------------------------------------
-    def vm_seconds(self) -> float:
-        """Total billable VM-seconds over the run (the cost metric).
-
-        Integrates the billable VM count over the sampled timeline.
-        Frameworks that thrash — EC2 keeps buying VMs while the real
-        problem is the concurrency setting — show up here as paying
-        more for worse latency.
-        """
-        if self.vm_times.size < 2:
-            return 0.0
-        dt = np.diff(self.vm_times)
-        return float(np.sum(self.vm_counts[:-1] * dt))
-
-    def tail(self, after: float | None = None) -> TailSummary:
-        """Tail-latency summary, optionally skipping a warm-up period."""
-        cutoff = self.config.warmup if after is None else after
-        lat = self.latencies[self.completion_times >= cutoff]
-        if lat.size == 0:
-            raise ExperimentError("no completed requests after the warm-up cutoff")
-        return tail_summary(lat)
-
-    def percentile(self, q: float) -> float:
-        """Latency percentile over the post-warm-up window (seconds)."""
-        return getattr(self.tail(), f"p{int(q)}") if q in (50, 95, 99) else float(
-            np.percentile(
-                self.latencies[self.completion_times >= self.config.warmup], q
-            )
-        )
-
-    def timeline(self, bin_width: float | None = None) -> list[TimelineBin]:
-        """Latency/throughput timeline with base-scale latencies."""
-        if self.request_log is None:
-            raise ExperimentError("request log was not retained for this run")
-        width = bin_width if bin_width is not None else self.config.timeline_bin
-        scale = self.config.rt_scale
-        bins = self.request_log.timeline(width, self.config.duration + _DRAIN_GRACE)
-        return [
-            TimelineBin(
-                t_start=b.t_start,
-                t_end=b.t_end,
-                completions=b.completions,
-                throughput=b.throughput * scale,  # back to base-scale req/s
-                mean_rt=b.mean_rt / scale,
-                p95_rt=b.p95_rt / scale,
-                max_rt=b.max_rt / scale,
-            )
-            for b in bins
-        ]
+# Re-exported for callers that sized windows off the runner constant.
+_DRAIN_GRACE = DRAIN_GRACE
 
 
 def _build_mix(config: ScenarioConfig) -> WorkloadMix:
@@ -150,8 +98,29 @@ def run_experiment(
     config: ScenarioConfig,
     dcm_profile: DcmTrainedProfile | None = None,
     policy_overrides: dict[str, TierPolicyConfig] | None = None,
-) -> ExperimentResult:
+    conscale_headroom: float | None = None,
+) -> RunArtifact:
     """Run one scenario under one scaling framework."""
+    overrides = RunOverrides(
+        policy_overrides=(
+            tuple(sorted(policy_overrides.items()))
+            if policy_overrides is not None
+            else None
+        ),
+        dcm_profile=dcm_profile,
+        conscale_headroom=conscale_headroom,
+    )
+    return execute_spec(RunSpec(framework, config, overrides))
+
+
+def execute_spec(spec: RunSpec) -> RunArtifact:
+    """Execute one :class:`RunSpec` and package its artifact.
+
+    This is the engine's unit of work: self-contained (fresh simulator
+    and RNG registry per call), deterministic for a given spec digest,
+    and safe to run in a worker process.
+    """
+    framework, config = spec.framework, spec.config
     if framework not in FRAMEWORKS:
         raise ConfigurationError(
             f"framework must be one of {FRAMEWORKS}, got {framework!r}"
@@ -170,7 +139,7 @@ def run_experiment(
         sim,
         tick=1.0,
         fine_interval=config.effective_fine_interval(),
-        history_seconds=config.duration + _DRAIN_GRACE + 60.0,
+        history_seconds=config.duration + DRAIN_GRACE + 60.0,
     )
     actions = ActionLog()
     actuator = Actuator(sim, app, hypervisor, factory, warehouse, actions)
@@ -202,7 +171,9 @@ def run_experiment(
     )
 
     # --- controller -----------------------------------------------------
-    tier_configs = policy_overrides or {APP: config.policy, DB: config.policy}
+    tier_configs = spec.overrides.policy_dict() or {
+        APP: config.policy, DB: config.policy
+    }
     controller: BaseController
     estimator: OptimalConcurrencyEstimator | None = None
     if framework == "ec2":
@@ -210,7 +181,7 @@ def run_experiment(
     elif framework == "predictive":
         controller = PredictiveAutoScaling(sim, warehouse, actuator, tier_configs)
     elif framework == "dcm":
-        profile = dcm_profile or _default_dcm_profile(config)
+        profile = spec.overrides.dcm_profile or _default_dcm_profile(config)
         controller = DCMController(sim, warehouse, actuator, profile, tier_configs)
     else:
         estimator = OptimalConcurrencyEstimator(
@@ -219,8 +190,11 @@ def run_experiment(
             window=config.sct_window,
             drift_check=config.sct_drift_check,
         )
+        conscale_kwargs = {}
+        if spec.overrides.conscale_headroom is not None:
+            conscale_kwargs["headroom"] = spec.overrides.conscale_headroom
         controller = ConScaleController(
-            sim, warehouse, actuator, estimator, tier_configs
+            sim, warehouse, actuator, estimator, tier_configs, **conscale_kwargs
         )
 
     # --- result sampling --------------------------------------------------
@@ -243,29 +217,40 @@ def run_experiment(
     sim.run(until=config.duration)
     generator.stop()
     controller.stop()
-    sim.run(until=config.duration + _DRAIN_GRACE)
+    sim.run(until=config.duration + DRAIN_GRACE)
     vm_sampler.stop()
 
-    # --- package ------------------------------------------------------------
+    # --- package: extract plain-array series, drop live handles ----------
+    window = config.duration + DRAIN_GRACE + 60.0
     cpu_series: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     for tier in (APP, DB):
-        samples = warehouse.samples(window=config.duration + _DRAIN_GRACE + 60.0, tier=tier)
-        by_time: dict[float, list[float]] = {}
-        for s in samples:
-            by_time.setdefault(s.t_end, []).append(s.cpu)
-        ts = np.array(sorted(by_time))
-        cs = np.array([np.mean(by_time[t]) for t in ts])
-        cpu_series[tier] = (ts, cs)
+        samples = warehouse.samples(window=window, tier=tier)
+        cpu_series[tier] = group_mean_by_time(
+            [s.t_end for s in samples], [s.cpu for s in samples]
+        )
+
+    fine_series: dict[str, FineSeries] = {}
+    for name, (tier, samples) in warehouse.all_fine_samples(window).items():
+        fine_series[name] = FineSeries(
+            server=name,
+            tier=tier,
+            t_end=np.array([s.t_end for s in samples]),
+            concurrency=np.array([s.concurrency for s in samples]),
+            throughput=np.array([s.throughput for s in samples]),
+            response_time=np.array([s.response_time for s in samples]),
+            completions=np.array([s.completions for s in samples], dtype=int),
+        )
 
     estimates: dict[str, list[TierEstimate]] = {}
     if estimator is not None:
         estimates = {APP: estimator.history(APP), DB: estimator.history(DB)}
 
-    return ExperimentResult(
-        framework=framework,
-        config=config,
+    return RunArtifact(
+        spec=spec,
         latencies=log.response_times / config.rt_scale,
         completion_times=log.completion_times,
+        arrival_times=log.arrival_times,
+        interactions=np.array(log.interactions, dtype=str),
         generated=generator.generated,
         completed=len(log),
         actions=actions,
@@ -274,6 +259,5 @@ def run_experiment(
         vm_counts_by_tier={t: np.asarray(v) for t, v in vm_by_tier.items()},
         cpu_series=cpu_series,
         estimates=estimates,
-        warehouse=warehouse,
-        request_log=log,
+        fine_series=fine_series,
     )

@@ -15,9 +15,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ExperimentError
+from repro.experiments.artifact import SCHEMA_VERSION, content_digest
+from repro.experiments.engine import ExperimentEngine, inline_engine
 from repro.ntier.app import APP, DB, WEB, NTierApplication, SoftResourceAllocation
 from repro.ntier.capacity import CapacityModel
-from repro.ntier.request import Request
 from repro.ntier.server import Server, ServerConfig
 from repro.rng import RngRegistry
 from repro.sim.engine import Simulator
@@ -27,6 +28,7 @@ from repro.workload.mixes import WorkloadMix
 __all__ = [
     "SweepPoint",
     "SweepResult",
+    "SweepTask",
     "concurrency_sweep",
     "find_q_lower",
     "cap_ramp_scatter",
@@ -83,6 +85,47 @@ def find_q_lower(levels, throughputs, tolerance: float = 0.05) -> int:
     raise ExperimentError("unreachable: the max itself satisfies the bound")
 
 
+@dataclass(frozen=True)
+class SweepTask:
+    """One picklable unit of sweep work: a single concurrency level.
+
+    ``capacities`` is a sorted tuple of ``(tier, model)`` pairs so the
+    task is hashable and content-digestible; the worker rebuilds the
+    dict. Independent levels are exactly the grid shape the experiment
+    engine parallelises and caches.
+    """
+
+    target_tier: str
+    capacities: tuple[tuple[str, CapacityModel], ...]
+    mix: WorkloadMix
+    level: int
+    topology: tuple[int, int, int]
+    duration: float
+    warmup_fraction: float
+    dataset_scale: float
+    demand_scale: float
+    seed: int
+
+    def digest(self) -> str:
+        return content_digest(("sweep", SCHEMA_VERSION, self))
+
+
+def _run_sweep_task(task: SweepTask) -> SweepPoint:
+    """Module-level worker: execute one sweep level (engine unit)."""
+    return _run_level(
+        task.target_tier,
+        dict(task.capacities),
+        task.mix,
+        task.level,
+        task.topology,
+        task.duration,
+        task.warmup_fraction,
+        task.dataset_scale,
+        task.demand_scale,
+        task.seed,
+    )
+
+
 def concurrency_sweep(
     target_tier: str,
     capacities: dict[str, CapacityModel],
@@ -94,35 +137,43 @@ def concurrency_sweep(
     dataset_scale: float = 1.0,
     demand_scale: float = 1.0,
     seed: int = 7,
+    engine: ExperimentEngine | None = None,
 ) -> SweepResult:
     """Sweep the offered concurrency against one tier.
 
     ``capacities`` maps each tier to its capacity model; non-target
     tiers should be generously provisioned (the paper uses 1/4/1 for
     MySQL sweeps and 1/1/4 for Tomcat sweeps) so the target is the
-    single bottleneck.
+    single bottleneck. Levels are independent runs, so a parallel
+    ``engine`` fans them out and caches each level by content digest.
     """
     if target_tier not in (WEB, APP, DB):
         raise ExperimentError(f"unknown target tier {target_tier!r}")
     if not levels:
         raise ExperimentError("need at least one concurrency level")
-    points: list[SweepPoint] = []
-    for level in levels:
-        points.append(
-            _run_level(
-                target_tier,
-                capacities,
-                mix,
-                int(level),
-                topology,
-                duration,
-                warmup_fraction,
-                dataset_scale,
-                demand_scale,
-                seed,
-            )
+    caps = tuple(sorted(capacities.items()))
+    tasks = [
+        SweepTask(
+            target_tier=target_tier,
+            capacities=caps,
+            mix=mix,
+            level=int(level),
+            topology=tuple(topology),
+            duration=duration,
+            warmup_fraction=warmup_fraction,
+            dataset_scale=dataset_scale,
+            demand_scale=demand_scale,
+            seed=seed,
         )
-    return SweepResult(target_tier=target_tier, points=points)
+        for level in levels
+    ]
+    points = inline_engine(engine).run_tasks(
+        _run_sweep_task,
+        tasks,
+        keys=[t.digest() for t in tasks],
+        labels=[f"sweep:{target_tier}@{t.level}" for t in tasks],
+    )
+    return SweepResult(target_tier=target_tier, points=list(points))
 
 
 def _run_level(

@@ -74,6 +74,11 @@ class RequestLog:
         """Arrival timestamps (seconds)."""
         return np.asarray(self._arrivals, dtype=float)
 
+    @property
+    def interactions(self) -> list[str]:
+        """RUBBoS interaction name of each completed request."""
+        return list(self._interactions)
+
     # ------------------------------------------------------------------
     def percentile(self, q: float, after: float = 0.0) -> float:
         """Latency percentile ``q`` (0-100) over requests completing

@@ -203,3 +203,17 @@ class MetricWarehouse:
             for name, state in self._states.items()
             if state.server.tier == tier
         }
+
+    def all_fine_samples(
+        self, window: float
+    ) -> dict[str, tuple[str, list[IntervalSample]]]:
+        """Every monitored server's ``(tier, samples)`` over the window.
+
+        The end-of-run export the experiment engine uses to build
+        serializable artifacts — afterwards the warehouse (and the
+        simulator underneath it) can be dropped entirely.
+        """
+        return {
+            name: (state.server.tier, state.fine.recent(window))
+            for name, state in self._states.items()
+        }

@@ -100,6 +100,10 @@ class ContentionModel:
             return 1.0
         return 1.0 / (1.0 + self.sigma * (m - 1.0) + self.kappa * m * (m - 1.0))
 
+    def canonical_key(self):
+        """Identity for content digesting (see repro.experiments.artifact)."""
+        return (self.sigma, self.kappa)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ContentionModel(sigma={self.sigma}, kappa={self.kappa})"
 
@@ -130,6 +134,14 @@ class CapacityModel:
         critical = min(self.resources, key=lambda r: r.saturation_concurrency)
         self._critical = critical
         self._a_sat = critical.saturation_concurrency
+
+    def canonical_key(self):
+        """Identity for content digesting (see repro.experiments.artifact).
+
+        The derived ``_a_sat``/``_critical`` fields are pure functions
+        of the resources, so the constructor arguments are the identity.
+        """
+        return (self.resources, self.contention)
 
     @property
     def saturation_concurrency(self) -> float:

@@ -23,7 +23,7 @@ from repro.cloud.hypervisor import Hypervisor
 from repro.cloud.vm import VM
 from repro.errors import ScalingError
 from repro.monitoring.warehouse import MetricWarehouse
-from repro.ntier.app import APP, DB, WEB, NTierApplication
+from repro.ntier.app import APP, WEB, NTierApplication
 from repro.ntier.server import Server
 from repro.scaling.actions import ActionLog
 from repro.scaling.factory import ServerFactory

@@ -15,9 +15,13 @@ class EventHandle:
     discarded when popped, which is far cheaper than heap surgery — the
     n-tier server model cancels and reschedules its next-completion event
     on every arrival/departure.
+
+    ``done`` marks an event the run loop has already fired (or discarded
+    after cancellation); it guards the owner's live-event counter
+    against cancel-after-fire and double-cancel.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "done", "owner")
 
     def __init__(
         self,
@@ -25,16 +29,24 @@ class EventHandle:
         seq: int,
         callback: Callable[..., None],
         args: tuple[Any, ...],
+        owner: Any = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.done = False
+        self.owner = owner
 
     def cancel(self) -> None:
-        """Mark this event so the run loop skips it. Idempotent."""
+        """Mark this event so the run loop skips it. Idempotent, and a
+        no-op once the event has fired."""
+        if self.cancelled or self.done:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner.event_cancelled()
 
     # Heap ordering: by time, ties broken by schedule order so that the
     # simulation is fully deterministic.

@@ -15,8 +15,6 @@ Two client models, matching the paper's two experimental setups:
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
 from repro.errors import ConfigurationError

@@ -76,6 +76,21 @@ class WorkloadMix:
             self._profiles[n] = DemandProfile(interaction=n, tiers=tiers)
 
     # ------------------------------------------------------------------
+    def canonical_key(self):
+        """Identity for content digesting (see repro.experiments.artifact).
+
+        The demand profiles are a pure function of (weights,
+        base_demands, dataset exponents) and the static servlet catalog,
+        so digesting the profiles covers everything that can change a
+        run's outcome.
+        """
+        return (
+            self.name,
+            tuple(self._names),
+            tuple(float(p) for p in self._probs),
+            tuple((n, self._profiles[n]) for n in self._names),
+        )
+
     @property
     def interactions(self) -> list[str]:
         """Interaction names in this mix (sorted)."""

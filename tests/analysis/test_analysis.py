@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 
 from repro.analysis.compare import FrameworkResult, compare_frameworks, improvement
-from repro.analysis.series import coefficient_of_variation, moving_average
+from repro.analysis.series import (
+    coefficient_of_variation,
+    group_mean_by_time,
+    moving_average,
+)
 from repro.analysis.stats import fluctuation_summary, spike_episodes, time_above
 from repro.errors import ReproError
 
@@ -35,6 +39,31 @@ def test_moving_average_validation():
         moving_average([1.0], window=0)
     with pytest.raises(ReproError):
         moving_average(np.zeros((2, 2)), window=3)
+
+
+def _naive_group_mean(times, values):
+    by_time = {}
+    for t, v in zip(times, values):
+        by_time.setdefault(t, []).append(v)
+    ts = sorted(by_time)
+    return np.array(ts), np.array([np.mean(by_time[t]) for t in ts])
+
+
+def test_group_mean_by_time_matches_naive():
+    rng = np.random.default_rng(0)
+    times = rng.choice(np.arange(0.0, 50.0), size=400)
+    values = rng.normal(size=400)
+    t_fast, v_fast = group_mean_by_time(times, values)
+    t_ref, v_ref = _naive_group_mean(times, values)
+    assert np.array_equal(t_fast, t_ref)
+    assert np.allclose(v_fast, v_ref)
+
+
+def test_group_mean_by_time_empty_and_invalid():
+    t, v = group_mean_by_time([], [])
+    assert t.size == 0 and v.size == 0
+    with pytest.raises(ReproError):
+        group_mean_by_time([1.0, 2.0], [1.0])
 
 
 def test_cov():

@@ -49,7 +49,8 @@ def test_cli_traces(capsys):
     assert "big_spike" in out
 
 
-def test_cli_run(capsys):
+def test_cli_run(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
     code = main([
         "run", "ec2", "--scale", "150", "--duration", "100",
         "--trace", "dual_phase",
@@ -60,7 +61,8 @@ def test_cli_run(capsys):
     assert "ec2" in out
 
 
-def test_cli_sweep(capsys):
+def test_cli_sweep(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
     code = main([
         "sweep", "db", "--levels", "4,10,20,40", "--duration", "8",
     ])
@@ -146,7 +148,8 @@ def test_cli_predict(capsys):
     assert "throughput_rps" in out
 
 
-def test_cli_compare_with_html(capsys, tmp_path):
+def test_cli_compare_with_html(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
     html = tmp_path / "cmp.html"
     code = main([
         "compare", "--trace", "dual_phase", "--scale", "150",

@@ -1,0 +1,286 @@
+"""The experiment engine's contracts: spec identity, determinism,
+parallel equivalence, and cache round-trips.
+
+Runs here use a strongly reduced scale (load_scale 300, 60 s) so every
+experiment finishes in well under a second.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments.artifact import (
+    SCHEMA_VERSION,
+    RunArtifact,
+    RunOverrides,
+    RunSpec,
+    canonical,
+    content_digest,
+)
+from repro.experiments.engine import ExperimentEngine, ResultCache
+from repro.experiments.runner import execute_spec, run_experiment
+from repro.experiments.scenarios import ScenarioConfig
+
+
+def small_config(**kwargs) -> ScenarioConfig:
+    defaults = dict(
+        name="engine-test", trace_name="dual_phase",
+        load_scale=300.0, duration=60.0, seed=2,
+    )
+    defaults.update(kwargs)
+    return ScenarioConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def ec2_artifact() -> RunArtifact:
+    return execute_spec(RunSpec("ec2", small_config()))
+
+
+# ----------------------------------------------------------------------
+# canonical encoding and spec identity
+# ----------------------------------------------------------------------
+
+def test_digest_stable_across_instances():
+    a = RunSpec("ec2", small_config())
+    b = RunSpec("ec2", small_config())
+    assert a.digest() == b.digest()
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1  # usable as dict/set keys
+
+
+def test_digest_separates_every_axis():
+    base = RunSpec("ec2", small_config())
+    assert RunSpec("conscale", small_config()).digest() != base.digest()
+    assert RunSpec("ec2", small_config(seed=3)).digest() != base.digest()
+    assert RunSpec("ec2", small_config(duration=61.0)).digest() != base.digest()
+    with_headroom = RunSpec(
+        "conscale", small_config(), RunOverrides(conscale_headroom=1.3)
+    )
+    assert with_headroom.digest() != RunSpec(
+        "conscale", small_config()
+    ).digest()
+
+
+def test_unknown_framework_rejected():
+    with pytest.raises(ConfigurationError):
+        RunSpec("k8s", small_config())
+
+
+def test_canonical_rejects_unknown_objects():
+    class Opaque:
+        pass
+
+    with pytest.raises(ConfigurationError):
+        canonical(Opaque())
+
+
+def test_canonical_handles_floats_and_arrays():
+    assert canonical(0.1) == canonical(0.1)
+    assert canonical(0.1) != canonical(0.2)
+    assert canonical(np.arange(3.0)) == canonical(np.arange(3.0))
+    assert canonical(np.arange(3.0)) != canonical(np.arange(4.0))
+    assert content_digest({"b": 1, "a": 2}) == content_digest({"a": 2, "b": 1})
+
+
+# ----------------------------------------------------------------------
+# determinism: same spec -> bit-identical artifact
+# ----------------------------------------------------------------------
+
+def test_same_spec_twice_is_bit_identical():
+    spec = RunSpec("conscale", small_config())
+    first = execute_spec(spec)
+    second = execute_spec(spec)
+    assert first.signature() == second.signature()
+    assert np.array_equal(first.latencies, second.latencies)
+    assert np.array_equal(first.vm_counts, second.vm_counts)
+    assert first.estimates.keys() == second.estimates.keys()
+    for tier, hist in first.estimates.items():
+        other = second.estimates[tier]
+        assert [(e.time, e.optimal) for e in hist] == [
+            (e.time, e.optimal) for e in other
+        ]
+
+
+def test_parallel_matches_inline(tmp_path):
+    specs = [RunSpec(fw, small_config()) for fw in ("ec2", "conscale")]
+    inline = ExperimentEngine(jobs=1, use_cache=False).run_many(specs)
+    parallel = ExperimentEngine(
+        jobs=2, cache_dir=str(tmp_path / "cache")
+    ).run_many(specs)
+    for a, b in zip(inline, parallel):
+        assert a.signature() == b.signature()
+
+
+def test_artifact_pickle_roundtrip(ec2_artifact):
+    clone = pickle.loads(pickle.dumps(ec2_artifact))
+    assert clone.signature() == ec2_artifact.signature()
+    assert clone.spec == ec2_artifact.spec
+
+
+# ----------------------------------------------------------------------
+# the result cache
+# ----------------------------------------------------------------------
+
+def test_cache_roundtrip_identical(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    spec = RunSpec("ec2", small_config())
+    hot = ExperimentEngine(cache_dir=cache_dir)
+    fresh = hot.run(spec)
+    assert hot.stats.misses == 1 and hot.stats.stores == 1
+
+    cold = ExperimentEngine(cache_dir=cache_dir)
+    cached = cold.run(spec)
+    assert cold.stats.hits == 1 and cold.executed == 0
+    assert cached.signature() == fresh.signature()
+    # figure-level consumption of a cached artifact matches in-memory
+    fresh_bins = fresh.timeline(5.0)
+    cached_bins = cached.timeline(5.0)
+    assert fresh_bins == cached_bins
+    assert cached.tail().p99 == fresh.tail().p99
+
+
+def test_no_cache_writes_nothing(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    engine = ExperimentEngine(cache_dir=cache_dir, use_cache=False)
+    engine.run(RunSpec("ec2", small_config()))
+    assert not os.path.exists(cache_dir)
+    assert engine.stats.hits == engine.stats.misses == 0
+
+
+def test_cache_invalidates_corrupt_entry(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.store("deadbeef", {"x": 1})
+    path = cache.path("deadbeef")
+    with open(path, "wb") as fh:
+        fh.write(b"not a pickle")
+    assert cache.load("deadbeef") is None
+    assert cache.stats.invalidations == 1
+    assert not os.path.exists(path)
+
+
+def test_cache_invalidates_schema_mismatch(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    path = cache.path("cafef00d")
+    os.makedirs(str(tmp_path), exist_ok=True)
+    with open(path, "wb") as fh:
+        pickle.dump(
+            {"schema": SCHEMA_VERSION + 1, "key": "cafef00d", "payload": 1}, fh
+        )
+    assert cache.load("cafef00d") is None
+    assert cache.stats.invalidations == 1
+
+
+def test_cache_rejects_pathy_keys(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    with pytest.raises(ConfigurationError):
+        cache.path("../escape")
+
+
+def test_worker_errors_propagate(tmp_path):
+    engine = ExperimentEngine(jobs=2, cache_dir=str(tmp_path))
+    with pytest.raises(ExperimentError):
+        engine.run_tasks(_raise_for_two, [1, 2], labels=["one", "two"])
+
+
+def _raise_for_two(n: int) -> int:
+    if n == 2:
+        raise ExperimentError("boom")
+    return n
+
+
+def test_progress_events_sequence(tmp_path):
+    events = []
+    engine = ExperimentEngine(
+        cache_dir=str(tmp_path / "c"), progress=events.append
+    )
+    spec = RunSpec("ec2", small_config())
+    engine.run(spec)
+    assert [e.kind for e in events] == ["start", "done", "stored"]
+    engine2 = ExperimentEngine(
+        cache_dir=str(tmp_path / "c"), progress=events.append
+    )
+    engine2.run(spec)
+    assert events[-1].kind == "hit"
+    assert all(e.label == spec.label for e in events)
+
+
+# ----------------------------------------------------------------------
+# artifact persistence helpers
+# ----------------------------------------------------------------------
+
+def test_save_load_artifact(tmp_path, ec2_artifact):
+    from repro.experiments.persistence import load_artifact, save_artifact
+
+    path = str(tmp_path / "run.pkl")
+    save_artifact(ec2_artifact, path)
+    loaded = load_artifact(path)
+    assert loaded.signature() == ec2_artifact.signature()
+    with open(path, "wb") as fh:
+        fh.write(b"garbage")
+    with pytest.raises(ExperimentError):
+        load_artifact(path)
+
+
+# ----------------------------------------------------------------------
+# artifact surface used by figures/analysis
+# ----------------------------------------------------------------------
+
+def test_artifact_has_no_live_handles(ec2_artifact):
+    assert not hasattr(ec2_artifact, "warehouse")
+    assert not hasattr(ec2_artifact, "request_log")
+    assert ec2_artifact.monitored_servers
+    for name in ec2_artifact.monitored_servers:
+        fine = ec2_artifact.fine_series[name]
+        assert len(fine) > 0
+        assert fine.t_end.shape == fine.throughput.shape
+
+
+def test_run_experiment_wrapper_equals_spec_path(ec2_artifact):
+    direct = run_experiment("ec2", small_config())
+    assert direct.signature() == ec2_artifact.signature()
+
+
+def test_headroom_override_changes_behaviour():
+    base = execute_spec(RunSpec("conscale", small_config()))
+    wide = execute_spec(
+        RunSpec(
+            "conscale", small_config(), RunOverrides(conscale_headroom=3.0)
+        )
+    )
+    assert base.signature() != wide.signature()
+
+
+# ----------------------------------------------------------------------
+# CLI integration (cheap grid)
+# ----------------------------------------------------------------------
+
+def test_cli_table1_jobs_and_cache(capsys, tmp_path, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    argv = [
+        "table1", "--scale", "300", "--duration", "60", "--seed", "2",
+        "--jobs", "2", "--traces", "dual_phase",
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "dual_phase" in first
+    assert "0 hit(s), 2 miss(es)" in first
+
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "2 hit(s), 0 miss(es)" in second
+    # identical table content from cache
+    assert [ln for ln in second.splitlines() if "dual_phase" in ln] == [
+        ln for ln in first.splitlines() if "dual_phase" in ln
+    ]
+
+    assert main(argv + ["--no-cache"]) == 0
+    third = capsys.readouterr().out
+    assert "hit(s)" not in third

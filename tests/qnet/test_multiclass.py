@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.qnet.multiclass import solve_mva_multiclass
-from repro.qnet.mva import DelayStation, QueueingStation, solve_mva
+from repro.qnet.mva import QueueingStation, solve_mva
 
 
 def test_single_class_collapses_to_classic_mva():
@@ -109,7 +109,6 @@ def test_against_simulator_two_classes():
     from repro.ntier.capacity import CapacityModel, ContentionModel, Resource
     from repro.ntier.request import Request
     from repro.ntier.server import Server, ServerConfig
-    from repro.rng import RngRegistry
     from repro.sim.engine import Simulator
 
     d = {"fast": 0.01, "slow": 0.04}
@@ -117,7 +116,6 @@ def test_against_simulator_two_classes():
     sim = Simulator()
     capacity = CapacityModel([Resource("cpu", 1.0, 1.0)], ContentionModel())
     server = Server(sim, ServerConfig("s", "db", capacity, 10_000))
-    rng = RngRegistry(3)
     counts = {"fast": 0, "slow": 0}
     state = {"next_id": 0}
 

@@ -1,9 +1,7 @@
 """Unit tests for ConScale's adaptation logic, driven by a scripted
 estimator (no full simulation runs)."""
 
-import pytest
-
-from repro.ntier.app import APP, DB
+from repro.ntier.app import APP
 from repro.scaling.conscale import ConScaleController
 from repro.scaling.estimator import TierEstimate
 from repro.sct.model import SCTEstimate

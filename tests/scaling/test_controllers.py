@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import ScenarioConfig
-from repro.ntier.app import APP, DB
+from repro.ntier.app import DB
 from repro.scaling.dcm import DcmTrainedProfile
 
 

@@ -1,6 +1,5 @@
 """Tests for the predictive (proactive) autoscaling baseline."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.runner import run_experiment

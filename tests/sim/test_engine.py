@@ -142,6 +142,34 @@ def test_pending_events_excludes_cancelled():
     assert sim.pending_events == 1
 
 
+def test_pending_events_double_cancel_counts_once():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h.cancel()
+    h.cancel()
+    assert sim.pending_events == 1
+
+
+def test_pending_events_cancel_after_fire_is_noop():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)
+    assert sim.pending_events == 1
+    h.cancel()  # already fired; must not decrement
+    assert sim.pending_events == 1
+
+
+def test_pending_events_drains_to_zero():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+    handles[2].cancel()
+    assert sim.pending_events == 3
+    sim.run()
+    assert sim.pending_events == 0
+
+
 def test_reentrant_run_raises():
     sim = Simulator()
 

@@ -9,8 +9,6 @@ pool resize vs in-flight grants, capacity swaps mid-PS-phase) that
 point tests miss.
 """
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

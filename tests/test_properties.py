@@ -1,10 +1,7 @@
 """Property-based tests (hypothesis) on core data structures and
 invariants."""
 
-import math
-
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.rng import RngRegistry
-from repro.sim.engine import Simulator
 from repro.workload.generator import (
     ClosedLoopGenerator,
     OpenLoopGenerator,
