@@ -1,0 +1,74 @@
+"""Decision-trace recording overhead on a Fig. 10-style run.
+
+The control bus records *every* control-plane decision — threshold
+trips, hardware lifecycle events, soft cap changes, and one explicit
+no-op per tier per decision tick — into the artifact's
+:class:`DecisionTrace`. Claim checked here: that full audit trail costs
+less than 5 % of the run's wall-clock.
+
+Measurement: run one ConScale evaluation on the Large Variations trace
+and time it, then isolate the recording cost by replaying the run's
+recorded event stream (event construction + bus dispatch + trace
+append) through a fresh bus several times. The replay covers everything
+the recording path does during the run, so ``replay_time / run_time``
+bounds the recording share from above.
+"""
+
+import time
+
+from benchmarks.conftest import (
+    BENCH_DURATION,
+    BENCH_SCALE,
+    BENCH_SEED,
+    run_once,
+    timed,
+)
+from repro.control.bus import ControlBus
+from repro.control.events import DecisionEvent
+from repro.control.trace import DecisionTrace
+from repro.experiments.artifact import RunSpec
+from repro.experiments.runner import execute_spec
+from repro.experiments.scenarios import ScenarioConfig
+
+REPLAYS = 25
+MAX_OVERHEAD = 0.05
+
+
+def test_trace_recording_overhead_under_5_percent(benchmark):
+    spec = RunSpec(
+        "conscale",
+        ScenarioConfig(
+            name="bench-trace-overhead", trace_name="large_variations",
+            load_scale=BENCH_SCALE, duration=BENCH_DURATION, seed=BENCH_SEED,
+        ),
+    )
+    artifact, run_seconds = run_once(benchmark, timed, execute_spec, spec)
+    events = artifact.actions.all()
+    # sanity: the trace really is dense (>= one no-op/decision per tick
+    # for each of the two managed tiers, minus in-flight phases)
+    assert len(events) > BENCH_DURATION, (
+        f"expected a dense decision trace, got {len(events)} events"
+    )
+
+    t0 = time.perf_counter()
+    for _ in range(REPLAYS):
+        bus = ControlBus()
+        trace = DecisionTrace().attach(bus)
+        for e in events:
+            bus.publish(
+                DecisionEvent(e.time, e.kind, e.tier, e.value, e.detail,
+                              e.source, e.reason, e.estimate)
+            )
+        assert len(trace) == len(events)
+    recording_seconds = (time.perf_counter() - t0) / REPLAYS
+
+    overhead = recording_seconds / run_seconds
+    print()
+    print(
+        f"run={run_seconds:.2f}s, recording {len(events)} events="
+        f"{recording_seconds * 1000:.1f}ms, overhead={overhead * 100:.2f}%"
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"decision-trace recording costs {overhead * 100:.1f}% of the run "
+        f"(budget: {MAX_OVERHEAD * 100:.0f}%)"
+    )

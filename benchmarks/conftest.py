@@ -20,6 +20,7 @@ Environment knobs:
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
@@ -56,3 +57,14 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Run an expensive figure generator exactly once under the
     pytest-benchmark timer."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn`` once; returns ``(result, wall_seconds)``.
+
+    For benches that need the measured wall-clock as a *value* (e.g.
+    overhead ratios) rather than only in the benchmark report.
+    """
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - t0

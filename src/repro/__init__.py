@@ -10,6 +10,10 @@ The package provides:
 * :mod:`repro.ntier`, :mod:`repro.workload`, :mod:`repro.monitoring`,
   :mod:`repro.cloud` — the simulated RUBBoS-style 3-tier testbed the
   controllers run against;
+* :mod:`repro.control` — the control-plane event bus: every controller
+  decision flows through it and is recorded in a
+  :class:`~repro.control.trace.DecisionTrace` (diffable via
+  ``repro diff``);
 * :mod:`repro.experiments` — calibrated scenarios and per-figure
   harnesses regenerating every table and figure of the paper.
 
@@ -23,8 +27,12 @@ Quickstart::
     print(ec2.tail().p99, ours.tail().p99)
 """
 
+from repro.control.bus import ControlBus
+from repro.control.events import DecisionEvent, TelemetryEvent
+from repro.control.trace import DecisionTrace
 from repro.errors import ReproError
 from repro.experiments.artifact import RunArtifact, RunOverrides, RunSpec
+from repro.experiments.diff import ArtifactDiff, diff_artifacts
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.runner import (
     FRAMEWORKS,
@@ -46,6 +54,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ReproError",
+    "ControlBus",
+    "DecisionEvent",
+    "TelemetryEvent",
+    "DecisionTrace",
+    "ArtifactDiff",
+    "diff_artifacts",
     "FRAMEWORKS",
     "ExperimentResult",
     "ExperimentEngine",

@@ -3,6 +3,9 @@
 Commands:
 
 * ``run`` — one scenario under one framework, print the tail summary;
+* ``diff`` — compare the decision traces of two cached runs of the
+  same scenario (e.g. two ConScale headroom settings): first
+  divergence, per-tier cap-decision deltas, tail-latency deltas;
 * ``compare`` — all four frameworks on one trace (JSON/HTML export);
 * ``sweep`` — a concurrency sweep against one tier;
 * ``table1`` — regenerate Table I;
@@ -25,9 +28,10 @@ import argparse
 import os
 import sys
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments import figures as figures_mod
-from repro.experiments.artifact import RunSpec
+from repro.experiments.artifact import RunOverrides, RunSpec
+from repro.experiments.diff import diff_artifacts
 from repro.experiments.calibration import (
     Calibration,
     ample_capacity,
@@ -71,6 +75,10 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=DEFAULT_CACHE_DIR,
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+    parser.add_argument(
+        "--cached-only", action="store_true",
+        help="never execute: fail (exit 2) if any run is not cached",
+    )
 
 
 def _print_event(event: RunEvent) -> None:
@@ -90,6 +98,7 @@ def _engine(args: argparse.Namespace) -> ExperimentEngine:
         cache_dir=getattr(args, "cache_dir", DEFAULT_CACHE_DIR),
         use_cache=not getattr(args, "no_cache", False),
         progress=_print_event,
+        require_cached=getattr(args, "cached_only", False),
     )
 
 
@@ -120,9 +129,24 @@ def _tail_row(framework: str, result) -> tuple:
 _TAIL_HEADERS = ["framework", "requests", "p50_ms", "p95_ms", "p99_ms", "max_vms"]
 
 
+def _run_overrides(framework: str, headroom: float | None) -> RunOverrides:
+    if headroom is not None and framework != "conscale":
+        raise ConfigurationError(
+            f"--headroom only applies to the conscale framework, "
+            f"not {framework!r}"
+        )
+    return RunOverrides(conscale_headroom=headroom)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     engine = _engine(args)
-    result = engine.run(RunSpec(args.framework, _config(args)))
+    result = engine.run(
+        RunSpec(
+            args.framework,
+            _config(args),
+            _run_overrides(args.framework, args.headroom),
+        )
+    )
     print(format_table(_TAIL_HEADERS, [_tail_row(args.framework, result)]))
     _report_cache(engine)
     if args.save:
@@ -133,6 +157,33 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.experiments.persistence import save_artifact
 
         print(f"artifact written to {save_artifact(result, args.save_artifact)}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Diff the decision traces of two *cached* runs of one scenario."""
+    config = _config(args)
+    spec_a = RunSpec(
+        args.framework, config, _run_overrides(args.framework, args.headroom_a)
+    )
+    spec_b = RunSpec(
+        args.framework, config, _run_overrides(args.framework, args.headroom_b)
+    )
+    if spec_a == spec_b:
+        print("note: both sides resolve to the same spec "
+              f"({spec_a.digest()[:12]})", file=sys.stderr)
+    engine = ExperimentEngine(
+        jobs=1,
+        cache_dir=args.cache_dir,
+        use_cache=True,
+        progress=_print_event,
+        require_cached=True,
+    )
+    artifact_a, artifact_b = engine.run_many([spec_a, spec_b])
+    diff = diff_artifacts(
+        artifact_a, artifact_b, include_noops=not args.material_only
+    )
+    print(diff.render())
     return 0
 
 
@@ -311,7 +362,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a JSON result summary to this path")
     p_run.add_argument("--save-artifact", default=None,
                        help="pickle the full run artifact to this path")
+    p_run.add_argument("--headroom", type=float, default=None,
+                       help="ConScale headroom override (conscale only)")
     p_run.set_defaults(func=cmd_run)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="diff the decision traces of two cached runs of one scenario",
+    )
+    p_diff.add_argument("framework", choices=FRAMEWORKS)
+    _add_common_run_args(p_diff)
+    p_diff.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    p_diff.add_argument("--headroom-a", type=float, default=None,
+                        help="ConScale headroom of side A (conscale only)")
+    p_diff.add_argument("--headroom-b", type=float, default=None,
+                        help="ConScale headroom of side B (conscale only)")
+    p_diff.add_argument(
+        "--material-only", action="store_true",
+        help="ignore no-op ticks when locating the first divergence",
+    )
+    p_diff.set_defaults(func=cmd_diff)
 
     p_cmp = sub.add_parser("compare", help="run all frameworks on one trace")
     _add_common_run_args(p_cmp)

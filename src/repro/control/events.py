@@ -1,0 +1,105 @@
+"""Typed events flowing over the control-plane bus.
+
+Two event families cover everything the control plane does:
+
+* :class:`TelemetryEvent` — one monitored server's system metrics over
+  one warehouse tick. Published by the
+  :class:`~repro.monitoring.warehouse.MetricWarehouse` so any component
+  (controllers, recorders, tests) can observe the same signal the
+  Decision Controller acts on without polling.
+* :class:`DecisionEvent` — one control-plane decision or its execution:
+  threshold trips, hardware scale-out/up/in (start and completion),
+  soft-resource cap changes (with the SCT estimate that justified
+  them), and explicit no-op ticks with the reason nothing happened.
+
+Every decision a controller takes flows through these events, so the
+recorded :class:`~repro.control.trace.DecisionTrace` is the complete,
+auditable account of *when* and *why* the control plane acted — the
+record Figs. 10-11 of the paper reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "TelemetryEvent",
+    "DecisionEvent",
+    "THRESHOLD_TRIP",
+    "NOOP",
+    "HARDWARE_KINDS",
+    "SOFT_KINDS",
+    "POLICY_KINDS",
+]
+
+#: A tier's threshold policy decided to scale ("out"/"in" in ``detail``).
+THRESHOLD_TRIP = "threshold_trip"
+#: A decision tick evaluated a tier and chose to do nothing (see ``reason``).
+NOOP = "noop"
+
+#: Hardware action kinds, in lifecycle order per action type.
+HARDWARE_KINDS = (
+    "bootstrap_ready",
+    "scale_out_started",
+    "scale_out_ready",
+    "scale_up_started",
+    "scale_up_done",
+    "scale_in_started",
+    "scale_in_done",
+)
+
+#: Soft-resource (pool cap) change kinds.
+SOFT_KINDS = (
+    "soft_web_threads",
+    "soft_app_threads",
+    "soft_db_connections",
+)
+
+#: Kinds emitted by the decision loop itself rather than the actuator.
+POLICY_KINDS = (THRESHOLD_TRIP, NOOP)
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryEvent:
+    """One server's system-level metrics over one warehouse tick."""
+
+    time: float
+    server: str
+    tier: str
+    cpu: float
+    concurrency: float
+    throughput: float
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionEvent:
+    """One control-plane decision, executed action, or explicit no-op.
+
+    ``kind`` is one of :data:`HARDWARE_KINDS`, :data:`SOFT_KINDS`, or
+    :data:`POLICY_KINDS`. ``value`` carries the new cap/vCPU count for
+    actions that set one. ``estimate`` is the SCT Q_lower (per server)
+    that justified a cap change, when one did. ``reason`` is the
+    human-readable justification; ``source`` names the emitting
+    component (controller name, "policy", "actuator").
+    """
+
+    time: float
+    kind: str
+    tier: str
+    value: int | None = None
+    detail: str = ""
+    source: str = ""
+    reason: str = ""
+    estimate: float | None = None
+
+    @property
+    def is_noop(self) -> bool:
+        return self.kind == NOOP
+
+    @property
+    def is_soft(self) -> bool:
+        return self.kind in SOFT_KINDS
+
+    @property
+    def is_hardware(self) -> bool:
+        return self.kind in HARDWARE_KINDS

@@ -20,6 +20,7 @@ __all__ = [
     "ScalingError",
     "CloudError",
     "ExperimentError",
+    "CacheMissError",
 ]
 
 
@@ -69,3 +70,11 @@ class CloudError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was misconfigured or produced no data."""
+
+
+class CacheMissError(ExperimentError):
+    """A required cached result is absent or schema-stale.
+
+    Raised by cache-only paths (``repro diff``, ``--cached-only`` runs)
+    instead of silently re-running a potentially expensive simulation.
+    """

@@ -14,6 +14,7 @@ from repro.experiments.calibration import (
     default_calibration,
     web_capacity,
 )
+from repro.experiments.diff import ArtifactDiff, diff_artifacts
 from repro.experiments.engine import ExperimentEngine, ResultCache
 from repro.experiments.runner import (
     ExperimentResult,
@@ -31,6 +32,8 @@ __all__ = [
     "web_capacity",
     "ExperimentEngine",
     "ResultCache",
+    "ArtifactDiff",
+    "diff_artifacts",
     "RunSpec",
     "RunOverrides",
     "RunArtifact",

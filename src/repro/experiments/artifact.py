@@ -28,11 +28,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.control.trace import DecisionTrace
 from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.scenarios import ScenarioConfig
 from repro.monitoring.percentiles import TailSummary, tail_summary
 from repro.monitoring.records import TimelineBin
-from repro.scaling.actions import ActionLog
 from repro.scaling.dcm import DcmTrainedProfile
 from repro.scaling.estimator import TierEstimate
 from repro.scaling.policy import TierPolicyConfig
@@ -49,7 +49,15 @@ __all__ = [
 ]
 
 #: Bump to invalidate every cached artifact (layout or semantics change).
-SCHEMA_VERSION = 1
+#: v2: ``actions`` became a columnar :class:`DecisionTrace` (threshold
+#: trips, reasons, SCT estimates, no-op ticks) and joined the signature.
+SCHEMA_VERSION = 2
+
+#: Older artifact schemas that still load (``DecisionTrace`` upgrades
+#: their pickled ``ActionLog`` transparently). The result *cache* only
+#: accepts the current version; this set is for explicitly saved
+#: artifact files.
+COMPAT_SCHEMAS = frozenset({1, SCHEMA_VERSION})
 
 FRAMEWORKS = ("ec2", "dcm", "conscale", "predictive")
 
@@ -230,7 +238,7 @@ class RunArtifact:
     interactions: np.ndarray  # RUBBoS interaction name per request
     generated: int
     completed: int
-    actions: ActionLog
+    actions: DecisionTrace
     vm_times: np.ndarray
     vm_counts: np.ndarray
     vm_counts_by_tier: dict[str, np.ndarray]
@@ -255,6 +263,11 @@ class RunArtifact:
         """Servers with retained fine-grained series (end-of-run set)."""
         return sorted(self.fine_series)
 
+    @property
+    def trace(self) -> DecisionTrace:
+        """The run's decision trace (alias for :attr:`actions`)."""
+        return self.actions
+
     def signature(self) -> str:
         """Content digest of the artifact's numeric series.
 
@@ -267,6 +280,7 @@ class RunArtifact:
                 "artifact",
                 self.schema,
                 self.spec.digest(),
+                self.actions.signature_key(),
                 self.latencies,
                 self.completion_times,
                 self.arrival_times,

@@ -30,7 +30,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.errors import ConfigurationError, ExperimentError
+from repro.errors import CacheMissError, ConfigurationError, ExperimentError
 from repro.experiments.artifact import SCHEMA_VERSION, RunArtifact, RunSpec
 
 __all__ = [
@@ -168,12 +168,18 @@ class ExperimentEngine:
         cache_dir: str = DEFAULT_CACHE_DIR,
         use_cache: bool = True,
         progress: Callable[[RunEvent], None] | None = None,
+        require_cached: bool = False,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs!r}")
+        if require_cached and not use_cache:
+            raise ConfigurationError(
+                "require_cached=True is meaningless with use_cache=False"
+            )
         self.jobs = int(jobs)
         self.cache = ResultCache(cache_dir) if use_cache else None
         self.progress = progress
+        self.require_cached = bool(require_cached)
         self.executed = 0
 
     # ------------------------------------------------------------------
@@ -221,6 +227,13 @@ class ExperimentEngine:
             else:
                 pending.append(i)
 
+        if pending and self.require_cached:
+            missing = ", ".join(labels[i] for i in pending)
+            raise CacheMissError(
+                f"{len(pending)} of {total} task(s) have no usable cache "
+                f"entry (missing or schema-stale): {missing}. "
+                "Re-run them without --cached-only first."
+            )
         if not pending:
             return results
         if self.jobs > 1 and len(pending) > 1:

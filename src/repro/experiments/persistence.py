@@ -22,7 +22,11 @@ import pickle
 from typing import Any
 
 from repro.errors import ExperimentError
-from repro.experiments.artifact import SCHEMA_VERSION, RunArtifact
+from repro.experiments.artifact import (
+    COMPAT_SCHEMAS,
+    SCHEMA_VERSION,
+    RunArtifact,
+)
 from repro.experiments.runner import ExperimentResult
 
 __all__ = [
@@ -82,6 +86,9 @@ def result_summary(result: ExperimentResult, bin_width: float | None = None) -> 
             "t": [float(t) for t in result.vm_times],
             "count": [int(c) for c in result.vm_counts],
         },
+        # Material decisions only: the explicit no-op ticks (one per
+        # controller tick per tier) would dwarf the summary, so they are
+        # reduced to a count. Load the pickled artifact for the full trace.
         "actions": [
             {
                 "t": a.time,
@@ -89,9 +96,13 @@ def result_summary(result: ExperimentResult, bin_width: float | None = None) -> 
                 "tier": a.tier,
                 "value": a.value,
                 "detail": a.detail,
+                "source": a.source,
+                "reason": a.reason,
+                "estimate": _clean(a.estimate),
             }
-            for a in result.actions
+            for a in result.actions.material()
         ],
+        "noop_ticks": len(result.actions.noops()),
         "estimates": {
             tier: [
                 {
@@ -157,9 +168,10 @@ def load_artifact(path: str) -> RunArtifact:
             f"{path!r} does not contain a RunArtifact "
             f"(got {type(artifact).__name__})"
         )
-    if artifact.schema != SCHEMA_VERSION:
+    if artifact.schema not in COMPAT_SCHEMAS:
         raise ExperimentError(
             f"{path!r} has artifact schema {artifact.schema}, "
-            f"this build expects {SCHEMA_VERSION}"
+            f"this build expects {SCHEMA_VERSION} "
+            f"(compatible: {sorted(COMPAT_SCHEMAS)})"
         )
     return artifact

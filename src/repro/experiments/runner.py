@@ -30,11 +30,12 @@ from repro.experiments.artifact import (
 from repro.experiments.calibration import app_capacity, db_capacity_cpu
 from repro.experiments.scenarios import ScenarioConfig
 from repro.cloud.hypervisor import Hypervisor
+from repro.control.bus import ControlBus
+from repro.control.trace import DecisionTrace
 from repro.monitoring.records import RequestLog
 from repro.monitoring.warehouse import MetricWarehouse
 from repro.ntier.app import APP, DB, WEB, NTierApplication
 from repro.rng import RngRegistry
-from repro.scaling.actions import ActionLog
 from repro.scaling.actuator import Actuator
 from repro.scaling.conscale import ConScaleController
 from repro.scaling.controller import BaseController
@@ -135,14 +136,19 @@ def execute_spec(spec: RunSpec) -> RunArtifact:
     for tier in (WEB, APP, DB):
         factory.set_template(tier, cal.capacity(tier), config.soft.for_tier(tier))
     hypervisor = Hypervisor(sim, prep_period=config.prep_period)
+    # One control bus per run: the warehouse publishes telemetry onto
+    # it, every controller/actuator decision flows through it, and the
+    # trace that ends up in the artifact is simply a bus subscriber.
+    bus = ControlBus()
     warehouse = MetricWarehouse(
         sim,
         tick=1.0,
         fine_interval=config.effective_fine_interval(),
         history_seconds=config.duration + DRAIN_GRACE + 60.0,
+        bus=bus,
     )
-    actions = ActionLog()
-    actuator = Actuator(sim, app, hypervisor, factory, warehouse, actions)
+    actions = DecisionTrace()
+    actuator = Actuator(sim, app, hypervisor, factory, warehouse, actions, bus)
     n_web, n_app, n_db = config.topology
     actuator.bootstrap(WEB, n_web)
     actuator.bootstrap(APP, n_app)

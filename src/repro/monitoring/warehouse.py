@@ -16,6 +16,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from repro.control.bus import ControlBus
+from repro.control.events import TelemetryEvent
 from repro.errors import MonitoringError
 from repro.monitoring.interval import IntervalMonitor, IntervalSample
 from repro.ntier.server import Server
@@ -61,10 +63,15 @@ class MetricWarehouse:
         fine_interval: float = 0.050,
         history_seconds: float = 900.0,
         fine_history: int | None = None,
+        bus: ControlBus | None = None,
     ) -> None:
         self.sim = sim
         self.tick = float(tick)
         self.fine_interval = float(fine_interval)
+        # When a control bus is attached, every 1 s VM sample is also
+        # published as a TelemetryEvent so controllers/recorders can
+        # observe the exact signal the threshold policy acts on.
+        self.bus = bus
         self._states: dict[str, _VmState] = {}
         self._history: deque[VmSample] = deque()
         self._history_seconds = float(history_seconds)
@@ -129,6 +136,7 @@ class MetricWarehouse:
     # collection
     # ------------------------------------------------------------------
     def _collect(self, now: float) -> None:
+        publish = self.bus is not None and self.bus.has_subscribers(TelemetryEvent)
         for state in self._states.values():
             server = state.server
             server.sync_monitors()
@@ -149,6 +157,13 @@ class MetricWarehouse:
                     throughput=tp,
                 )
             )
+            if publish:
+                self.bus.publish(
+                    TelemetryEvent(
+                        time=now, server=server.name, tier=server.tier,
+                        cpu=cpu, concurrency=conc, throughput=tp,
+                    )
+                )
             state.prev_util = dict(server.util_integral)
             state.prev_conc = server.concurrency_integral
             state.prev_comp = server.completions

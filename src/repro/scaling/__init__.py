@@ -14,6 +14,9 @@ manage soft resources after hardware changes:
   pools on the fly (the paper's contribution).
 """
 
+from repro.control.bus import ControlBus
+from repro.control.events import DecisionEvent, TelemetryEvent
+from repro.control.trace import DecisionTrace
 from repro.scaling.actions import ActionLog, ScalingAction
 from repro.scaling.actuator import Actuator
 from repro.scaling.conscale import ConScaleController
@@ -22,12 +25,17 @@ from repro.scaling.dcm import DCMController, DcmTrainedProfile, offline_profile
 from repro.scaling.ec2 import EC2AutoScaling
 from repro.scaling.estimator import OptimalConcurrencyEstimator, TierEstimate
 from repro.scaling.factory import ServerFactory
-from repro.scaling.policy import ThresholdPolicy, TierPolicyConfig
+from repro.scaling.policy import PolicyDecision, ThresholdPolicy, TierPolicyConfig
 from repro.scaling.predictive import PredictiveAutoScaling
 
 __all__ = [
     "ActionLog",
     "ScalingAction",
+    "ControlBus",
+    "DecisionEvent",
+    "DecisionTrace",
+    "TelemetryEvent",
+    "PolicyDecision",
     "Actuator",
     "ConScaleController",
     "BaseController",

@@ -1,31 +1,36 @@
-"""Scaling-action records.
+"""Back-compat shims for the pre-bus scaling-action records.
 
-Every hardware and soft-resource action is logged with its timestamp so
-the evaluation figures can annotate scale events on the timeline ("a
-new Tomcat is added at 85 s ...") and tests can assert controller
-behaviour precisely.
+The control plane now records every decision as a
+:class:`~repro.control.events.DecisionEvent` on a
+:class:`~repro.control.trace.DecisionTrace` (see :mod:`repro.control`).
+This module keeps the two old names importable:
+
+* :class:`ScalingAction` — the old record type, retained so pickles of
+  pre-bus artifacts still unpickle (``DecisionTrace.__setstate__``
+  upgrades them to events);
+* :class:`ActionLog` — now a thin subclass of :class:`DecisionTrace`;
+  its ``record()``/``of_kind()``/``scale_out_times()``/``render()``
+  surface is inherited unchanged, so existing callers and old pickled
+  artifacts keep working.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+
+from repro.control.trace import DecisionTrace
 
 __all__ = ["ScalingAction", "ActionLog"]
 
 
 @dataclass(frozen=True, slots=True)
 class ScalingAction:
-    """One scaling event.
+    """Legacy record of one scaling event (pre-bus pickles only).
 
-    ``kind`` is one of:
-
-    * ``scale_out_started`` / ``scale_out_ready`` — VM launch and its
-      completion after the preparation period;
-    * ``scale_in_started`` / ``scale_in_done`` — drain begin and VM stop;
-    * ``soft_app_threads`` / ``soft_db_connections`` /
-      ``soft_web_threads`` — pool re-allocations (``value`` is the new
-      limit).
+    ``kind`` is one of ``scale_out_started`` / ``scale_out_ready`` /
+    ``scale_in_started`` / ``scale_in_done`` / ``soft_app_threads`` /
+    ``soft_db_connections`` / ``soft_web_threads``; new code reads
+    :class:`~repro.control.events.DecisionEvent` instead.
     """
 
     time: float
@@ -35,55 +40,10 @@ class ScalingAction:
     detail: str = ""
 
 
-class ActionLog:
-    """Append-only list of scaling actions with query helpers."""
+class ActionLog(DecisionTrace):
+    """Deprecated alias of :class:`~repro.control.trace.DecisionTrace`.
 
-    def __init__(self) -> None:
-        self._actions: list[ScalingAction] = []
-
-    def record(
-        self,
-        time: float,
-        kind: str,
-        tier: str,
-        value: int | None = None,
-        detail: str = "",
-    ) -> None:
-        """Append one action."""
-        self._actions.append(ScalingAction(time, kind, tier, value, detail))
-
-    def __len__(self) -> int:
-        return len(self._actions)
-
-    def __iter__(self):
-        return iter(self._actions)
-
-    def all(self) -> list[ScalingAction]:
-        """Every recorded action in time order."""
-        return list(self._actions)
-
-    def of_kind(self, *kinds: str) -> list[ScalingAction]:
-        """Actions matching any of the given kinds."""
-        wanted = set(kinds)
-        return [a for a in self._actions if a.kind in wanted]
-
-    def for_tier(self, tier: str) -> list[ScalingAction]:
-        """Actions affecting one tier."""
-        return [a for a in self._actions if a.tier == tier]
-
-    def scale_out_times(self, tier: str) -> list[float]:
-        """Times at which new VMs became ready in a tier (figure markers)."""
-        return [
-            a.time for a in self._actions
-            if a.tier == tier and a.kind == "scale_out_ready"
-        ]
-
-    @staticmethod
-    def render(actions: Iterable[ScalingAction]) -> str:
-        """Human-readable multi-line rendering (for reports)."""
-        lines = []
-        for a in actions:
-            value = f" -> {a.value}" if a.value is not None else ""
-            detail = f" ({a.detail})" if a.detail else ""
-            lines.append(f"[{a.time:8.2f}s] {a.kind:<22} {a.tier:<4}{value}{detail}")
-        return "\n".join(lines)
+    Exists so old imports, call sites constructing ``ActionLog()``, and
+    pickles referencing ``repro.scaling.actions.ActionLog`` all resolve
+    to the new trace type.
+    """

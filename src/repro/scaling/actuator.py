@@ -21,11 +21,13 @@ from typing import Callable
 
 from repro.cloud.hypervisor import Hypervisor
 from repro.cloud.vm import VM
+from repro.control.bus import ControlBus
+from repro.control.events import DecisionEvent
+from repro.control.trace import DecisionTrace
 from repro.errors import ScalingError
 from repro.monitoring.warehouse import MetricWarehouse
 from repro.ntier.app import APP, WEB, NTierApplication
 from repro.ntier.server import Server
-from repro.scaling.actions import ActionLog
 from repro.scaling.factory import ServerFactory
 from repro.sim.engine import Simulator
 
@@ -44,19 +46,44 @@ class Actuator:
         hypervisor: Hypervisor,
         factory: ServerFactory,
         warehouse: MetricWarehouse,
-        log: ActionLog | None = None,
+        log: DecisionTrace | None = None,
+        bus: ControlBus | None = None,
     ) -> None:
         self.sim = sim
         self.app = app
         self.hypervisor = hypervisor
         self.factory = factory
         self.warehouse = warehouse
-        self.log = log if log is not None else ActionLog()
+        # Every executed action is published as a DecisionEvent on the
+        # control bus; the trace subscribes and records. ``log`` stays
+        # the name of the recorded trace for API continuity.
+        self.bus = bus if bus is not None else ControlBus()
+        self.log = (log if log is not None else DecisionTrace()).attach(self.bus)
         self._vm_by_server: dict[str, VM] = {}
         self._db_connections = app.soft.db_connections
         self._draining: dict[str, int] = {}  # tier -> count
         self._bootstrap_vms: set[str] = set()
         self._on_hardware_change: list[Callable[[str, str], None]] = []
+
+    # ------------------------------------------------------------------
+    # event emission
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        kind: str,
+        tier: str,
+        value: int | None = None,
+        detail: str = "",
+        reason: str = "",
+        estimate: float | None = None,
+    ) -> None:
+        self.bus.publish(
+            DecisionEvent(
+                time=self.sim.now, kind=kind, tier=tier, value=value,
+                detail=detail, source="actuator", reason=reason,
+                estimate=estimate,
+            )
+        )
 
     # ------------------------------------------------------------------
     # subscriptions
@@ -80,10 +107,10 @@ class Actuator:
             vm = self.hypervisor.launch(tier, self._vm_ready, prep_period=0.0)
             self._bootstrap_vms.add(vm.name)
 
-    def scale_out(self, tier: str) -> None:
+    def scale_out(self, tier: str, reason: str = "") -> None:
         """Launch one more VM for a tier (takes the prep period)."""
         vm = self.hypervisor.launch(tier, self._vm_ready)
-        self.log.record(self.sim.now, "scale_out_started", tier, detail=vm.name)
+        self._emit("scale_out_started", tier, detail=vm.name, reason=reason)
 
     def _vm_ready(self, vm: VM) -> None:
         server = self.factory.create(vm.tier)
@@ -95,7 +122,7 @@ class Actuator:
         kind = (
             "bootstrap_ready" if vm.name in self._bootstrap_vms else "scale_out_ready"
         )
-        self.log.record(self.sim.now, kind, vm.tier, detail=server.name)
+        self._emit(kind, vm.tier, detail=server.name)
         self._notify(vm.tier, kind)
 
     def scale_up(
@@ -127,12 +154,15 @@ class Actuator:
         vm, server = min(candidates, key=lambda pair: pair[0].vcpus)
         new_vcpus = min(max_vcpus, vm.vcpus * factor)
         ratio = new_vcpus / vm.vcpus
-        self.log.record(
-            self.sim.now, "scale_up_started", tier,
-            value=int(new_vcpus), detail=server.name,
+        self._emit(
+            "scale_up_started", tier, value=int(new_vcpus), detail=server.name,
         )
 
         def _apply(_vm) -> None:
+            if server.name not in self._vm_by_server:
+                # The server was drained and retired while the resize
+                # was in flight; nothing is left to reconfigure.
+                return
             critical = server.capacity.critical_resource.name
             scaled = server.capacity.scaled_cores(
                 critical, server.capacity.resource(critical).units * ratio
@@ -142,16 +172,15 @@ class Actuator:
             # old capacity curve; drop it so the SCT model re-learns
             # the new optimum quickly.
             self.warehouse.reset_fine_history(server.name)
-            self.log.record(
-                self.sim.now, "scale_up_done", tier,
-                value=int(new_vcpus), detail=server.name,
+            self._emit(
+                "scale_up_done", tier, value=int(new_vcpus), detail=server.name,
             )
             self._notify(tier, "scale_up_done")
 
         self.hypervisor.resize(vm, new_vcpus, _apply)
         return True
 
-    def scale_in(self, tier: str) -> None:
+    def scale_in(self, tier: str, reason: str = "") -> None:
         """Drain the newest server of a tier and stop its VM once empty."""
         tier_obj = self.app.tiers[tier]
         server = tier_obj.begin_drain()
@@ -160,7 +189,7 @@ class Actuator:
             raise ScalingError(f"no VM recorded for server {server.name!r}")
         self.hypervisor.mark_draining(vm)
         self._draining[tier] = self._draining.get(tier, 0) + 1
-        self.log.record(self.sim.now, "scale_in_started", tier, detail=server.name)
+        self._emit("scale_in_started", tier, detail=server.name, reason=reason)
         self.sim.schedule_after(_DRAIN_POLL, self._check_drained, tier, server, vm)
 
     def _check_drained(self, tier: str, server: Server, vm: VM) -> None:
@@ -174,21 +203,32 @@ class Actuator:
         self.hypervisor.stop(vm)
         del self._vm_by_server[server.name]
         self._draining[tier] = self._draining.get(tier, 1) - 1
-        self.log.record(self.sim.now, "scale_in_done", tier, detail=server.name)
+        self._emit("scale_in_done", tier, detail=server.name,
+                   reason="drain complete")
         self._notify(tier, "scale_in_done")
 
     # ------------------------------------------------------------------
     # soft-resource reallocation
     # ------------------------------------------------------------------
-    def set_web_threads(self, limit: int) -> None:
+    def set_web_threads(
+        self, limit: int, reason: str = "", estimate: float | None = None
+    ) -> None:
         """Resize every web server's thread pool."""
-        self._resize_tier_threads(WEB, limit, "soft_web_threads")
+        self._resize_tier_threads(WEB, limit, "soft_web_threads", reason, estimate)
 
-    def set_app_threads(self, limit: int) -> None:
+    def set_app_threads(
+        self, limit: int, reason: str = "", estimate: float | None = None
+    ) -> None:
         """Resize every app server's thread pool (Tomcat via JMX)."""
-        self._resize_tier_threads(APP, limit, "soft_app_threads")
+        self._resize_tier_threads(APP, limit, "soft_app_threads", reason, estimate)
 
-    def set_app_threads_for(self, server_name: str, limit: int) -> None:
+    def set_app_threads_for(
+        self,
+        server_name: str,
+        limit: int,
+        reason: str = "",
+        estimate: float | None = None,
+    ) -> None:
         """Resize one app server's thread pool (heterogeneous fleets).
 
         After a vertical scale-up part of a tier may have more cores
@@ -202,14 +242,16 @@ class Actuator:
             if server.name == server_name:
                 if server.threads.limit != limit:
                     server.threads.resize(limit)
-                    self.log.record(
-                        self.sim.now, "soft_app_threads", APP,
-                        value=limit, detail=server_name,
+                    self._emit(
+                        "soft_app_threads", APP, value=limit,
+                        detail=server_name, reason=reason, estimate=estimate,
                     )
                 return
         raise ScalingError(f"no app server named {server_name!r}")
 
-    def set_db_connections(self, limit: int) -> None:
+    def set_db_connections(
+        self, limit: int, reason: str = "", estimate: float | None = None
+    ) -> None:
         """Resize the DB connection pool in every app server.
 
         This is the extended-JMX path of the paper (Tomcat does not
@@ -225,9 +267,17 @@ class Actuator:
         self._db_connections = int(limit)
         for pool in self.app.conn_pools.values():
             pool.resize(limit)
-        self.log.record(self.sim.now, "soft_db_connections", APP, value=limit)
+        self._emit("soft_db_connections", APP, value=limit, reason=reason,
+                   estimate=estimate)
 
-    def _resize_tier_threads(self, tier: str, limit: int, kind: str) -> None:
+    def _resize_tier_threads(
+        self,
+        tier: str,
+        limit: int,
+        kind: str,
+        reason: str = "",
+        estimate: float | None = None,
+    ) -> None:
         if limit < 1:
             raise ScalingError(f"thread limit must be >= 1, got {limit!r}")
         servers = self.app.tiers[tier].all_instances()
@@ -238,7 +288,7 @@ class Actuator:
         for server in servers:
             server.threads.resize(limit)
         self.factory.set_thread_limit(tier, limit)
-        self.log.record(self.sim.now, kind, tier, value=limit)
+        self._emit(kind, tier, value=limit, reason=reason, estimate=estimate)
 
     # ------------------------------------------------------------------
     # state queries for the policy

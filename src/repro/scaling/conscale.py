@@ -105,16 +105,26 @@ class ConScaleController(BaseController):
                 self.max_app_threads,
             )
             if force or self._drifted(current, target):
-                self.actuator.set_app_threads(target)
+                self.actuator.set_app_threads(
+                    target,
+                    reason=f"SCT Q_lower={est.optimal} x headroom "
+                    f"{self.headroom:.2f}",
+                    estimate=float(est.optimal),
+                )
             return
         if self._should_explore(APP, est):
             target = min(self.max_app_threads, self._probe_up(current))
             if target != current:
-                self.actuator.set_app_threads(target)
+                self.actuator.set_app_threads(
+                    target,
+                    reason="probe up: plateau at cap with admission pressure",
+                )
             return
         relaxed = self._maybe_relax(APP, current, self.actuator.app.soft.app_threads)
         if relaxed != current:
-            self.actuator.set_app_threads(relaxed)
+            self.actuator.set_app_threads(
+                relaxed, reason="relax stale cap toward static default"
+            )
 
     def _adapt_db(self, force: bool) -> None:
         est = self.estimator.estimate_tier(DB)
@@ -129,16 +139,26 @@ class ConScaleController(BaseController):
                 self.max_db_connections,
             )
             if force or self._drifted(current, per_app):
-                self.actuator.set_db_connections(per_app)
+                self.actuator.set_db_connections(
+                    per_app,
+                    reason=f"SCT Q_lower={est.optimal} x headroom "
+                    f"{self.headroom:.2f} x {n_db} db / {n_app} app",
+                    estimate=float(est.optimal),
+                )
             return
         if self._should_explore(DB, est):
             target = min(self.max_db_connections, self._probe_up(current))
             if target != current:
-                self.actuator.set_db_connections(target)
+                self.actuator.set_db_connections(
+                    target,
+                    reason="probe up: plateau at cap with admission pressure",
+                )
             return
         relaxed = self._maybe_relax(DB, current, self.actuator.app.soft.db_connections)
         if relaxed != current:
-            self.actuator.set_db_connections(relaxed)
+            self.actuator.set_db_connections(
+                relaxed, reason="relax stale cap toward static default"
+            )
 
     def _adapt_app_per_server(self, est: TierEstimate, force: bool) -> bool:
         """Give each app server its own actionable optimum.
@@ -165,7 +185,12 @@ class ConScaleController(BaseController):
                 self.max_app_threads,
             )
             if force or self._drifted(server.threads.limit, target):
-                self.actuator.set_app_threads_for(name, target)
+                self.actuator.set_app_threads_for(
+                    name, target,
+                    reason=f"per-server SCT Q_lower={server_est.optimal} x "
+                    f"headroom {self.headroom:.2f}",
+                    estimate=float(server_est.optimal),
+                )
                 acted = True
         return acted
 

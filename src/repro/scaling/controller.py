@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.control.bus import ControlBus
+from repro.control.events import NOOP, THRESHOLD_TRIP, DecisionEvent
 from repro.monitoring.warehouse import MetricWarehouse
 from repro.scaling.actuator import Actuator
 from repro.scaling.policy import ThresholdPolicy, TierPolicyConfig
@@ -18,6 +20,11 @@ class BaseController:
     :meth:`after_hardware_change` (invoked when a scale-out completes or
     a scale-in finishes draining) and :meth:`periodic_adapt` (invoked on
     every tick after the hardware decisions).
+
+    Every decision — including the ticks where nothing happened — is
+    published as a :class:`~repro.control.events.DecisionEvent` on the
+    actuator's control bus, giving all frameworks one uniform, auditable
+    decision trace.
     """
 
     name = "base"
@@ -33,6 +40,7 @@ class BaseController:
         self.sim = sim
         self.warehouse = warehouse
         self.actuator = actuator
+        self.bus: ControlBus = actuator.bus
         configs = tier_configs or {
             "app": TierPolicyConfig(),
             "db": TierPolicyConfig(),
@@ -46,21 +54,46 @@ class BaseController:
         self._process.stop()
 
     # ------------------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        tier: str,
+        value: int | None = None,
+        detail: str = "",
+        reason: str = "",
+        estimate: float | None = None,
+    ) -> None:
+        """Publish one DecisionEvent attributed to this controller."""
+        self.bus.publish(
+            DecisionEvent(
+                time=self.sim.now, kind=kind, tier=tier, value=value,
+                detail=detail, source=self.name, reason=reason,
+                estimate=estimate,
+            )
+        )
+
+    # ------------------------------------------------------------------
     def _tick(self, now: float) -> None:
         for tier, config in self.policy.configs.items():
-            decision = self.policy.decide(tier)
-            if decision == "out":
+            decision = self.policy.evaluate(tier)
+            if decision.action == "out":
+                self.emit(THRESHOLD_TRIP, tier, detail="out",
+                          reason=decision.reason)
                 # Vertical-first: grow an existing server's cores while
                 # room remains, otherwise fall back to adding a VM.
                 scaled_up = config.prefer_vertical and self.actuator.scale_up(
                     tier, config.vertical_factor, config.max_vcpus
                 )
                 if not scaled_up:
-                    self.actuator.scale_out(tier)
+                    self.actuator.scale_out(tier, reason=decision.reason)
                 self.policy.note_action(tier, "out")
-            elif decision == "in":
-                self.actuator.scale_in(tier)
+            elif decision.action == "in":
+                self.emit(THRESHOLD_TRIP, tier, detail="in",
+                          reason=decision.reason)
+                self.actuator.scale_in(tier, reason=decision.reason)
                 self.policy.note_action(tier, "in")
+            else:
+                self.emit(NOOP, tier, reason=decision.reason)
         self.periodic_adapt(now)
 
     def _hardware_changed(self, tier: str, kind: str) -> None:

@@ -117,9 +117,18 @@ class DCMController(BaseController):
             # Topology still bootstrapping; the first hardware-change
             # notification will re-apply.
             return
-        self.actuator.set_app_threads(self.profile.app_optimal)
+        trained_on = self.profile.trained_on or "offline profiling"
+        self.actuator.set_app_threads(
+            self.profile.app_optimal,
+            reason=f"trained table ({trained_on})",
+            estimate=float(self.profile.app_optimal),
+        )
         per_app = max(
             self.min_db_connections,
             int(round(self.profile.db_optimal * n_db / n_app)),
         )
-        self.actuator.set_db_connections(per_app)
+        self.actuator.set_db_connections(
+            per_app,
+            reason=f"trained table ({trained_on}) x {n_db} db / {n_app} app",
+            estimate=float(self.profile.db_optimal),
+        )

@@ -20,4 +20,6 @@ class EC2AutoScaling(BaseController):
     name = "ec2-autoscaling"
 
     # Both hooks intentionally inherit the no-op behaviour: the baseline
-    # performs no soft-resource adaption whatsoever.
+    # performs no soft-resource adaption whatsoever. Its decision trace
+    # therefore contains only threshold trips, hardware events, and
+    # no-op ticks — never a soft_* cap change.

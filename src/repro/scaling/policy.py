@@ -18,7 +18,23 @@ from repro.monitoring.warehouse import MetricWarehouse
 from repro.scaling.actuator import Actuator
 from repro.sim.engine import Simulator
 
-__all__ = ["TierPolicyConfig", "ThresholdPolicy"]
+__all__ = ["TierPolicyConfig", "PolicyDecision", "ThresholdPolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyDecision:
+    """One tier's evaluated threshold decision with its justification.
+
+    ``action`` is ``"out"``, ``"in"``, or None; ``reason`` explains the
+    choice (including why nothing happened — cool-downs, in-flight
+    actions, utilisation within thresholds) so no-op ticks are as
+    auditable as scaling ones. ``cpu`` is the smoothed utilisation the
+    decision was based on.
+    """
+
+    action: str | None
+    reason: str
+    cpu: float
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,6 +106,16 @@ class ThresholdPolicy:
         Pure decision — the controller invokes the actuator. Cool-down
         bookkeeping is updated by :meth:`note_action`.
         """
+        return self.evaluate(tier).action
+
+    def evaluate(self, tier: str) -> PolicyDecision:
+        """Evaluate one tier, returning the decision *and* its reason.
+
+        The reason string feeds the no-op/threshold-trip
+        :class:`~repro.control.events.DecisionEvent`\\ s, so every tick
+        of every controller leaves an auditable record of why it did or
+        did not act.
+        """
         cfg = self.configs[tier]
         now = self.sim.now
         size = self.actuator.app.tiers[tier].size
@@ -104,7 +130,10 @@ class ThresholdPolicy:
             self._low_since[tier] = None
 
         if self.actuator.action_in_flight(tier):
-            return None
+            return PolicyDecision(
+                None, "hardware action in flight (provisioning or draining)",
+                cpu_fast,
+            )
 
         # Quick start: scale out on a short-window CPU breach, or on
         # admission-queue pressure with a warm CPU (hybrid threshold).
@@ -114,9 +143,33 @@ class ThresholdPolicy:
             and queued >= cfg.pressure_ratio * capacity
             and cpu_fast >= cfg.pressure_cpu
         )
-        if (cpu_fast > cfg.high_threshold or pressured) and size < cfg.max_size:
+        breached = cpu_fast > cfg.high_threshold or pressured
+        if breached and size < cfg.max_size:
             if now - self._last_out.get(tier, -1e18) >= cfg.out_cooldown:
-                return "out"
+                if cpu_fast > cfg.high_threshold:
+                    why = (
+                        f"cpu {cpu_fast:.2f} > high threshold "
+                        f"{cfg.high_threshold:.2f}"
+                    )
+                else:
+                    why = (
+                        f"admission queue {queued}/{capacity} with warm "
+                        f"cpu {cpu_fast:.2f}"
+                    )
+                return PolicyDecision("out", why, cpu_fast)
+            return PolicyDecision(
+                None,
+                f"threshold breached (cpu {cpu_fast:.2f}) but scale-out "
+                "cool-down active",
+                cpu_fast,
+            )
+        if breached and size >= cfg.max_size:
+            return PolicyDecision(
+                None,
+                f"threshold breached (cpu {cpu_fast:.2f}) but tier at "
+                f"max size {cfg.max_size}",
+                cpu_fast,
+            )
 
         # Slow turn-off: require a long continuously-low stretch.
         low_since = self._low_since[tier]
@@ -127,8 +180,22 @@ class ThresholdPolicy:
             and now - self._last_in.get(tier, -1e18) >= cfg.in_cooldown
             and now - self._last_out.get(tier, -1e18) >= cfg.in_sustain
         ):
-            return "in"
-        return None
+            return PolicyDecision(
+                "in",
+                f"cpu below {cfg.low_threshold:.2f} for "
+                f"{now - low_since:.0f}s (sustained-low)",
+                cpu_fast,
+            )
+        if low_since is not None and size > cfg.min_size:
+            return PolicyDecision(
+                None,
+                f"cpu low ({cpu_fast:.2f}) but sustained-low/cool-down "
+                "conditions for scale-in not met",
+                cpu_fast,
+            )
+        return PolicyDecision(
+            None, f"cpu {cpu_fast:.2f} within thresholds", cpu_fast
+        )
 
     def can_scale_out(self, tier: str) -> bool:
         """Whether a scale-out is currently permitted (cool-down over,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.control.events import THRESHOLD_TRIP
 from repro.monitoring.warehouse import MetricWarehouse
 from repro.scaling.actuator import Actuator
 from repro.scaling.controller import BaseController
@@ -78,6 +79,12 @@ class PredictiveAutoScaling(BaseController):
             current = self.warehouse.tier_cpu(tier, config.out_window)
             if current < self.arm_threshold:
                 continue
-            if self.predicted_cpu(tier) > config.high_threshold:
-                self.actuator.scale_out(tier)
+            predicted = self.predicted_cpu(tier)
+            if predicted > config.high_threshold:
+                reason = (
+                    f"predicted cpu {predicted:.2f} in {self.lead_time:.0f}s "
+                    f"> {config.high_threshold:.2f} (current {current:.2f})"
+                )
+                self.emit(THRESHOLD_TRIP, tier, detail="out", reason=reason)
+                self.actuator.scale_out(tier, reason=reason)
                 self.policy.note_action(tier, "out")

@@ -1,0 +1,61 @@
+"""Unit tests for the control-plane event bus."""
+
+import pytest
+
+from repro.control.bus import ControlBus
+from repro.control.events import DecisionEvent, TelemetryEvent
+
+
+def decision(t=1.0, kind="noop", tier="app", **kw):
+    return DecisionEvent(time=t, kind=kind, tier=tier, **kw)
+
+
+def test_publish_reaches_subscribers_in_order():
+    bus = ControlBus()
+    seen = []
+    bus.subscribe(DecisionEvent, lambda e: seen.append(("first", e)))
+    bus.subscribe(DecisionEvent, lambda e: seen.append(("second", e)))
+    event = decision()
+    bus.publish(event)
+    assert seen == [("first", event), ("second", event)]
+
+
+def test_dispatch_is_keyed_by_exact_type():
+    bus = ControlBus()
+    decisions, telemetry = [], []
+    bus.subscribe(DecisionEvent, decisions.append)
+    bus.subscribe(TelemetryEvent, telemetry.append)
+    bus.publish(decision())
+    bus.publish(TelemetryEvent(1.0, "db-1", "db", 0.5, 3.0, 100.0))
+    assert len(decisions) == 1 and len(telemetry) == 1
+
+
+def test_publish_without_subscribers_is_a_noop():
+    ControlBus().publish(decision())  # must not raise
+
+
+def test_has_subscribers():
+    bus = ControlBus()
+    assert not bus.has_subscribers(TelemetryEvent)
+    handler = lambda e: None  # noqa: E731
+    bus.subscribe(TelemetryEvent, handler)
+    assert bus.has_subscribers(TelemetryEvent)
+    assert not bus.has_subscribers(DecisionEvent)
+    bus.unsubscribe(TelemetryEvent, handler)
+    assert not bus.has_subscribers(TelemetryEvent)
+
+
+def test_unsubscribe_unknown_handler_is_a_noop():
+    bus = ControlBus()
+    bus.unsubscribe(DecisionEvent, lambda e: None)  # must not raise
+
+
+def test_handler_exceptions_propagate_to_publisher():
+    bus = ControlBus()
+
+    def broken(_event):
+        raise RuntimeError("recorder broke")
+
+    bus.subscribe(DecisionEvent, broken)
+    with pytest.raises(RuntimeError):
+        bus.publish(decision())

@@ -13,6 +13,7 @@ import pickle
 import numpy as np
 import pytest
 
+from repro.control.trace import DecisionTrace
 from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.artifact import (
     SCHEMA_VERSION,
@@ -254,6 +255,86 @@ def test_headroom_override_changes_behaviour():
         )
     )
     assert base.signature() != wide.signature()
+
+
+# ----------------------------------------------------------------------
+# decision-trace determinism and schema compatibility
+# ----------------------------------------------------------------------
+
+def test_trace_identical_sequential_parallel_cached(tmp_path):
+    """The recorded decision trace is part of the determinism contract:
+    inline, worker-process, and cache-returned artifacts agree."""
+    spec = RunSpec("conscale", small_config())
+    inline = ExperimentEngine(jobs=1, use_cache=False).run(spec)
+    parallel = ExperimentEngine(
+        jobs=2, cache_dir=str(tmp_path / "c")
+    ).run_many([spec, RunSpec("ec2", small_config())])[0]
+    cached = ExperimentEngine(cache_dir=str(tmp_path / "c")).run(spec)
+    assert len(inline.actions) > 0
+    assert inline.actions.keys() == parallel.actions.keys()
+    assert inline.actions.keys() == cached.actions.keys()
+    assert (
+        content_digest(inline.actions.signature_key())
+        == content_digest(parallel.actions.signature_key())
+        == content_digest(cached.actions.signature_key())
+    )
+
+
+def test_trace_survives_artifact_pickle(ec2_artifact):
+    clone = pickle.loads(pickle.dumps(ec2_artifact))
+    assert clone.actions.all() == ec2_artifact.actions.all()
+    assert clone.actions.noops(), "no-op ticks must survive serialisation"
+
+
+def test_artifact_signature_covers_the_trace(ec2_artifact):
+    """Tampering with the trace must change the artifact signature."""
+    import copy
+    from repro.control.events import DecisionEvent
+
+    tampered = copy.copy(ec2_artifact)
+    tampered.actions = DecisionTrace(
+        ec2_artifact.actions.all()
+        + [DecisionEvent(1e6, "scale_out_started", "db")]
+    )
+    assert tampered.signature() != ec2_artifact.signature()
+
+
+def test_empty_trace_artifact_roundtrips(ec2_artifact):
+    import copy
+
+    bare = copy.copy(ec2_artifact)
+    bare.actions = DecisionTrace()
+    clone = pickle.loads(pickle.dumps(bare))
+    assert len(clone.actions) == 0
+    assert clone.signature() == bare.signature()
+
+
+def test_legacy_schema_artifact_still_loads(tmp_path, ec2_artifact):
+    """Schema-1 artifacts (pre-bus ActionLog era) load; unknown future
+    schemas are rejected."""
+    import copy
+    from repro.experiments.persistence import load_artifact, save_artifact
+
+    legacy = copy.copy(ec2_artifact)
+    legacy.schema = 1
+    path = str(tmp_path / "legacy.pkl")
+    save_artifact(legacy, path)
+    assert load_artifact(path).schema == 1
+
+    future = copy.copy(ec2_artifact)
+    future.schema = SCHEMA_VERSION + 1
+    save_artifact(future, str(tmp_path / "future.pkl"))
+    with pytest.raises(ExperimentError, match="schema"):
+        load_artifact(str(tmp_path / "future.pkl"))
+
+
+def test_result_summary_excludes_noops(ec2_artifact):
+    from repro.experiments.persistence import result_summary
+
+    summary = result_summary(ec2_artifact)
+    assert summary["noop_ticks"] == len(ec2_artifact.actions.noops())
+    assert all(a["kind"] != "noop" for a in summary["actions"])
+    assert all("reason" in a and "source" in a for a in summary["actions"])
 
 
 # ----------------------------------------------------------------------
