@@ -11,15 +11,19 @@ Commands:
 * ``table1`` — regenerate Table I;
 * ``figure`` — regenerate one figure by number (1, 3, 5, 6, 7, 9, 10, 11);
 * ``predict`` — analytical (MVA) closed-loop throughput/latency curve;
-* ``traces`` — list the six built-in trace shapes.
+* ``traces`` — list the six built-in trace shapes;
+* ``worker`` — drain a file-queue backend's shared queue directory.
 
 Figures print their series and write CSVs under ``--results``.
 
 Experiment-running commands (``run``, ``compare``, ``sweep``,
-``table1``, ``figure``) go through the experiment engine: ``--jobs N``
-fans independent runs out across worker processes, results are cached
-under ``results/cache/`` by spec content digest, and ``--no-cache``
-forces re-execution.
+``table1``, ``figure``) go through the experiment engine: results are
+cached under ``results/cache/`` by spec content digest (``--no-cache``
+forces re-execution) and execution is pluggable via ``--backend``:
+``serial`` runs inline, ``process`` (implied by ``--jobs N``) fans out
+across worker processes on this host, and ``file-queue --queue-dir D``
+shards the grid across any number of ``repro worker D`` processes —
+on this or other hosts sharing the directory.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from repro.experiments.calibration import (
     db_capacity_cpu,
     db_capacity_io,
 )
+from repro.experiments.backends import BACKEND_NAMES, FileQueueWorker, make_backend
 from repro.experiments.engine import DEFAULT_CACHE_DIR, ExperimentEngine, RunEvent
 from repro.experiments.report import ensure_results_dir, format_table
 from repro.experiments.runner import FRAMEWORKS
@@ -79,6 +84,15 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         "--cached-only", action="store_true",
         help="never execute: fail (exit 2) if any run is not cached",
     )
+    parser.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="execution backend (default: process when --jobs > 1, "
+        "else serial); file-queue shards across `repro worker` processes",
+    )
+    parser.add_argument(
+        "--queue-dir", default=None, metavar="DIR",
+        help="shared queue directory for the file-queue backend",
+    )
 
 
 def _print_event(event: RunEvent) -> None:
@@ -93,12 +107,26 @@ def _print_event(event: RunEvent) -> None:
 
 
 def _engine(args: argparse.Namespace) -> ExperimentEngine:
+    use_cache = not getattr(args, "no_cache", False)
+    cache_dir = getattr(args, "cache_dir", DEFAULT_CACHE_DIR)
+    backend = None
+    backend_name = getattr(args, "backend", None)
+    if backend_name is not None:
+        backend = make_backend(
+            backend_name,
+            jobs=getattr(args, "jobs", 1),
+            queue_dir=getattr(args, "queue_dir", None),
+            # Workers publish keyed results straight into the shared
+            # cache, so point them at the same directory the engine uses.
+            cache_dir=cache_dir if use_cache else None,
+        )
     return ExperimentEngine(
         jobs=getattr(args, "jobs", 1),
-        cache_dir=getattr(args, "cache_dir", DEFAULT_CACHE_DIR),
-        use_cache=not getattr(args, "no_cache", False),
+        cache_dir=cache_dir,
+        use_cache=use_cache,
         progress=_print_event,
         require_cached=getattr(args, "cached_only", False),
+        backend=backend,
     )
 
 
@@ -332,6 +360,25 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Drain a file-queue directory: lease, execute, publish results."""
+    worker = FileQueueWorker(
+        args.queue_dir, poll=args.poll, heartbeat=args.heartbeat
+    )
+    print(f"worker {worker.worker_id} draining {worker.queue_dir}",
+          file=sys.stderr)
+    try:
+        worker.run(max_tasks=args.max_tasks, idle_exit=args.idle_exit)
+    except KeyboardInterrupt:  # a clean stop, not an error
+        pass
+    print(
+        f"worker {worker.worker_id}: {worker.processed} task(s) processed, "
+        f"{worker.failures} failure(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_traces(args: argparse.Namespace) -> int:
     rows = []
     for name in TRACE_NAMES:
@@ -426,6 +473,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_traces = sub.add_parser("traces", help="list the built-in traces")
     p_traces.set_defaults(func=cmd_traces)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="process tasks from a file-queue backend's queue directory",
+    )
+    p_worker.add_argument("queue_dir",
+                          help="queue directory shared with the coordinator")
+    p_worker.add_argument("--poll", type=float, default=0.2,
+                          help="seconds between empty-queue scans")
+    p_worker.add_argument("--heartbeat", type=float, default=1.0,
+                          help="seconds between lease heartbeats")
+    p_worker.add_argument("--max-tasks", type=int, default=0, metavar="N",
+                          help="exit after N tasks (0 = unlimited)")
+    p_worker.add_argument(
+        "--idle-exit", type=float, default=0.0, metavar="SECONDS",
+        help="exit after this long with an empty queue (0 = run forever)",
+    )
+    p_worker.set_defaults(func=cmd_worker)
 
     p_pred = sub.add_parser(
         "predict", help="analytical (MVA) closed-loop prediction"

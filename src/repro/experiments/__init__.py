@@ -14,6 +14,14 @@ from repro.experiments.calibration import (
     default_calibration,
     web_capacity,
 )
+from repro.experiments.backends import (
+    ExecutionBackend,
+    FileQueueBackend,
+    FileQueueWorker,
+    ProcessBackend,
+    SerialBackend,
+    make_backend,
+)
 from repro.experiments.diff import ArtifactDiff, diff_artifacts
 from repro.experiments.engine import ExperimentEngine, ResultCache
 from repro.experiments.runner import (
@@ -32,6 +40,12 @@ __all__ = [
     "web_capacity",
     "ExperimentEngine",
     "ResultCache",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "FileQueueBackend",
+    "FileQueueWorker",
+    "make_backend",
     "ArtifactDiff",
     "diff_artifacts",
     "RunSpec",

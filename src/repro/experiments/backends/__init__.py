@@ -1,0 +1,74 @@
+"""Pluggable execution backends for the experiment engine.
+
+The engine owns grid policy (caching, ordering, progress); a backend
+owns only "run ``fn(payload)`` somewhere". See
+:mod:`repro.experiments.backends.base` for the contract and
+:func:`make_backend` for name-based construction (the CLI's
+``--backend`` flag).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.experiments.backends.base import (
+    BackendTask,
+    ExecutionBackend,
+    TaskCompletion,
+    callable_ref,
+    resolve_callable,
+    timed_call,
+)
+from repro.experiments.backends.filequeue import (
+    FileQueueBackend,
+    FileQueueWorker,
+)
+from repro.experiments.backends.process import ProcessBackend
+from repro.experiments.backends.serial import SerialBackend
+
+__all__ = [
+    "BackendTask",
+    "TaskCompletion",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "FileQueueBackend",
+    "FileQueueWorker",
+    "BACKEND_NAMES",
+    "make_backend",
+    "callable_ref",
+    "resolve_callable",
+    "timed_call",
+]
+
+BACKEND_NAMES = ("serial", "process", "file-queue")
+
+
+def make_backend(
+    name: str,
+    jobs: int = 1,
+    queue_dir: str | None = None,
+    cache_dir: str | None = None,
+    **filequeue_options,
+) -> ExecutionBackend:
+    """Build a backend by name (``serial`` | ``process`` | ``file-queue``).
+
+    ``jobs`` sizes the process pool; ``queue_dir``/``cache_dir`` and
+    any extra keyword options configure the file queue (see
+    :class:`FileQueueBackend`).
+    """
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessBackend(jobs=jobs)
+    if name == "file-queue":
+        if not queue_dir:
+            raise ConfigurationError(
+                "the file-queue backend needs a queue directory "
+                "(--queue-dir) shared with its workers"
+            )
+        return FileQueueBackend(
+            queue_dir, cache_dir=cache_dir, **filequeue_options
+        )
+    raise ConfigurationError(
+        f"unknown backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
+    )

@@ -1,0 +1,133 @@
+"""The execution-backend contract: run ``fn(payload)`` somewhere.
+
+The :class:`~repro.experiments.engine.ExperimentEngine` owns the
+*policy* of a grid — cache keying, submission-order results, progress
+events, ``require_cached`` — while a backend owns only the *mechanism*:
+given a module-level callable and a batch of tasks, execute every task
+and stream back :class:`TaskCompletion` records in whatever order they
+finish. Three mechanisms ship with the library:
+
+* :class:`~repro.experiments.backends.serial.SerialBackend` — in the
+  calling process, one task at a time;
+* :class:`~repro.experiments.backends.process.ProcessBackend` — a
+  single-host ``ProcessPoolExecutor`` fan-out;
+* :class:`~repro.experiments.backends.filequeue.FileQueueBackend` — a
+  multi-host shared-directory queue drained by ``repro worker``
+  processes.
+
+A completion either carries a result or an error; the engine re-raises
+errors (annotated with the task label) so a failing task aborts the
+grid exactly as it did before backends existed — except where a
+backend's own retry policy (file queue) absorbs the failure first.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Protocol, runtime_checkable
+
+from repro.errors import BackendError
+
+__all__ = [
+    "BackendTask",
+    "TaskCompletion",
+    "ExecutionBackend",
+    "timed_call",
+    "callable_ref",
+    "resolve_callable",
+]
+
+
+@dataclass(frozen=True)
+class BackendTask:
+    """One unit of grid work handed to a backend.
+
+    ``index`` is the submission index — the engine's slot for the
+    result; ``key`` is the content digest used for cache publication
+    (None disables caching for the task).
+    """
+
+    index: int
+    payload: Any
+    key: str | None = None
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class TaskCompletion:
+    """One finished task, successful or not.
+
+    ``seconds`` is the task's own execution wall time, measured where
+    the task actually ran (not from grid start, and excluding queue
+    wait). ``attempts`` counts executions including retries.
+    """
+
+    task: BackendTask
+    result: Any = None
+    error: BaseException | None = None
+    seconds: float = 0.0
+    attempts: int = 1
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Protocol every execution backend implements."""
+
+    name: str
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: list[BackendTask],
+        on_start: Callable[[BackendTask], None] | None = None,
+    ) -> Iterator[TaskCompletion]:
+        """Execute every task, yielding completions in finish order.
+
+        ``on_start`` is invoked when a task begins executing (or is
+        handed off for execution); backends must call it at most once
+        per task, before that task's completion is yielded.
+        """
+        ...
+
+
+def timed_call(fn: Callable[[Any], Any], payload: Any) -> tuple[Any, float]:
+    """Run ``fn(payload)``, returning ``(result, wall_seconds)``."""
+    t0 = time.perf_counter()
+    result = fn(payload)
+    return result, time.perf_counter() - t0
+
+
+def callable_ref(fn: Callable[..., Any]) -> str:
+    """A ``module:qualname`` reference importable on another host.
+
+    File-queue tasks cannot pickle the callable itself (the worker may
+    run a different interpreter instance), so tasks carry this
+    reference instead. Only module-level callables qualify — the same
+    restriction ``ProcessPoolExecutor`` imposes via pickling.
+    """
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname:
+        raise BackendError(
+            f"cannot reference {fn!r} across hosts: execution backends "
+            "need a module-level callable"
+        )
+    return f"{module}:{qualname}"
+
+
+def resolve_callable(ref: str) -> Callable[[Any], Any]:
+    """Import the callable a :func:`callable_ref` string points at."""
+    module_name, _, qualname = ref.partition(":")
+    if not module_name or not qualname:
+        raise BackendError(f"malformed callable reference {ref!r}")
+    try:
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+    except (ImportError, AttributeError) as exc:
+        raise BackendError(f"cannot resolve callable {ref!r}: {exc}") from exc
+    if not callable(obj):
+        raise BackendError(f"{ref!r} resolved to non-callable {obj!r}")
+    return obj

@@ -1,0 +1,458 @@
+"""Multi-host sharded execution over a shared queue directory.
+
+A grid shards across machines through nothing but a directory every
+participant can reach (NFS, a shared volume, or plain local disk for
+same-host workers). All state transitions are atomic renames, so the
+protocol needs no locks and tolerates any participant dying at any
+point:
+
+```
+queue/
+  pending/<id>.task     pickled task envelope, awaiting a worker
+  leased/<id>.task      claimed by a worker (atomic rename from pending/)
+  leased/<id>.hb        heartbeat, touched every `heartbeat` seconds
+  done/<id>.result      pickled result envelope (temp file + rename)
+```
+
+**Coordinator** (:meth:`FileQueueBackend.run`, driven by the
+experiment engine): writes every task into ``pending/``, then polls —
+draining ``done/`` into completions, requeueing leases whose heartbeat
+went stale (the worker died mid-task), and re-enqueueing *failed*
+tasks up to ``max_attempts``. A worker crash therefore costs one lease
+timeout, not the grid; a deterministic task failure still aborts the
+grid, but only after the attempt cap (:class:`RetryExhaustedError`).
+
+**Worker** (:class:`FileQueueWorker`, the ``repro worker <queue-dir>``
+subcommand): leases the oldest pending task by renaming it into
+``leased/``, heartbeats while executing, then publishes the result
+envelope into ``done/`` — and, for keyed tasks, into the shared
+content-addressed result cache, so any engine on any host gets a cache
+hit for the same spec digest.
+
+Because task results are deterministic functions of their payload, the
+one race the protocol allows — a slow-but-alive worker finishing a
+task whose lease was already requeued — is harmless: both executions
+publish identical envelopes and the coordinator ignores duplicates.
+
+Lease expiry compares heartbeat mtimes against the coordinator's
+clock, so coordinator and workers sharing a filesystem should also
+share reasonably synchronised clocks (NTP-close is plenty: the default
+lease timeout is 60 s).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import tempfile
+import threading
+import time
+import traceback
+from typing import Any, Callable, Iterator
+
+from repro.errors import (
+    BackendError,
+    ConfigurationError,
+    LeaseExpiredError,
+    RetryExhaustedError,
+)
+from repro.experiments.backends.base import (
+    BackendTask,
+    TaskCompletion,
+    callable_ref,
+    resolve_callable,
+    timed_call,
+)
+from repro.experiments.cache import ResultCache
+
+__all__ = ["FileQueueBackend", "FileQueueWorker", "QUEUE_SCHEMA"]
+
+# Version stamp for queue envelopes (independent of the artifact
+# schema): a worker from a different code revision refuses tasks it
+# cannot be sure to execute faithfully.
+QUEUE_SCHEMA = 1
+
+PENDING, LEASED, DONE = "pending", "leased", "done"
+
+
+def _atomic_pickle(directory: str, name: str, obj: Any) -> str:
+    """Write ``obj`` pickled to ``directory/name`` via temp + rename."""
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        path = os.path.join(directory, name)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+class _Heartbeat(threading.Thread):
+    """Touches a lease's heartbeat file while the task executes."""
+
+    def __init__(self, path: str, interval: float) -> None:
+        super().__init__(daemon=True, name=f"heartbeat:{os.path.basename(path)}")
+        self.path = path
+        self.interval = interval
+        self._stopped = threading.Event()
+
+    def run(self) -> None:
+        while not self._stopped.wait(self.interval):
+            try:
+                os.utime(self.path)
+            except OSError:
+                return  # lease reclaimed by the coordinator; stop beating
+
+    def stop(self) -> None:
+        self._stopped.set()
+        self.join(timeout=self.interval + 1.0)
+
+
+class FileQueueBackend:
+    """Coordinator side of the shared-directory queue.
+
+    ``cache_dir`` (when set) is forwarded inside each task envelope so
+    workers publish keyed results straight into the shared result
+    cache. ``max_attempts`` caps executions of a *failing* task;
+    ``max_lease_requeues`` caps how often a task may lose its lease
+    (guarding against a task that reliably kills its worker).
+    """
+
+    name = "file-queue"
+
+    def __init__(
+        self,
+        queue_dir: str,
+        cache_dir: str | None = None,
+        poll: float = 0.2,
+        lease_timeout: float = 60.0,
+        heartbeat: float = 1.0,
+        max_attempts: int = 3,
+        max_lease_requeues: int = 5,
+    ) -> None:
+        if not queue_dir:
+            raise ConfigurationError("file-queue backend needs a queue_dir")
+        if poll <= 0 or lease_timeout <= 0 or heartbeat <= 0:
+            raise ConfigurationError(
+                "poll, lease_timeout and heartbeat must be positive"
+            )
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts!r}"
+            )
+        # Coordinator and workers may run with different working
+        # directories; pin both shared paths down now.
+        self.queue_dir = os.path.abspath(queue_dir)
+        self.cache_dir = os.path.abspath(cache_dir) if cache_dir else None
+        self.poll = float(poll)
+        self.lease_timeout = float(lease_timeout)
+        self.heartbeat = float(heartbeat)
+        self.max_attempts = int(max_attempts)
+        self.max_lease_requeues = int(max_lease_requeues)
+        self.lease_requeues = 0
+        self.retries = 0
+
+    # -- layout --------------------------------------------------------
+    def _dir(self, state: str) -> str:
+        return os.path.join(self.queue_dir, state)
+
+    def ensure_layout(self) -> None:
+        for state in (PENDING, LEASED, DONE):
+            os.makedirs(self._dir(state), exist_ok=True)
+
+    @staticmethod
+    def _task_id(task: BackendTask) -> str:
+        return f"{task.index:05d}-{(task.key or 'nokey')[:12]}"
+
+    # -- coordinator ---------------------------------------------------
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: list[BackendTask],
+        on_start: Callable[[BackendTask], None] | None = None,
+    ) -> Iterator[TaskCompletion]:
+        fn_ref = callable_ref(fn)
+        self.ensure_layout()
+        outstanding: dict[int, BackendTask] = {}
+        lease_requeues: dict[int, int] = {}
+        first_seen: dict[str, float] = {}
+        for task in tasks:
+            self._enqueue(fn_ref, task, attempt=1)
+            if on_start is not None:
+                on_start(task)
+            outstanding[task.index] = task
+        while outstanding:
+            progressed = False
+            for envelope in self._drain_done():
+                index = envelope["index"]
+                task = outstanding.get(index)
+                if task is None:
+                    continue  # duplicate from a requeued-but-alive lease
+                progressed = True
+                if envelope["ok"]:
+                    del outstanding[index]
+                    yield TaskCompletion(
+                        task,
+                        result=envelope["result"],
+                        seconds=envelope["seconds"],
+                        attempts=envelope["attempt"],
+                    )
+                elif envelope["attempt"] < self.max_attempts:
+                    self.retries += 1
+                    self._enqueue(fn_ref, task, attempt=envelope["attempt"] + 1)
+                else:
+                    del outstanding[index]
+                    yield TaskCompletion(
+                        task,
+                        error=RetryExhaustedError(
+                            f"task {task.label!r} failed "
+                            f"{envelope['attempt']} attempt(s); last error "
+                            f"(worker {envelope['worker']}):\n"
+                            f"{envelope['error']}"
+                        ),
+                        attempts=envelope["attempt"],
+                    )
+            self._requeue_expired(outstanding, lease_requeues, first_seen)
+            if outstanding and not progressed:
+                time.sleep(self.poll)
+
+    def _enqueue(self, fn_ref: str, task: BackendTask, attempt: int) -> None:
+        envelope = {
+            "schema": QUEUE_SCHEMA,
+            "id": self._task_id(task),
+            "index": task.index,
+            "fn": fn_ref,
+            "payload": task.payload,
+            "key": task.key,
+            "label": task.label,
+            "attempt": attempt,
+            "cache_dir": self.cache_dir,
+        }
+        _atomic_pickle(self._dir(PENDING), envelope["id"] + ".task", envelope)
+
+    def _drain_done(self) -> Iterator[dict[str, Any]]:
+        """Consume (load then delete) every result envelope in done/."""
+        try:
+            names = sorted(os.listdir(self._dir(DONE)))
+        except FileNotFoundError:
+            return
+        for name in names:
+            if not name.endswith(".result"):
+                continue
+            path = os.path.join(self._dir(DONE), name)
+            try:
+                with open(path, "rb") as fh:
+                    envelope = pickle.load(fh)
+            except OSError:
+                continue  # raced with nothing we wrote; try next poll
+            except Exception as exc:
+                raise BackendError(
+                    f"unreadable result envelope {path}: {exc}"
+                ) from exc
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != QUEUE_SCHEMA
+            ):
+                raise BackendError(
+                    f"result envelope {path} has foreign schema "
+                    f"{envelope.get('schema') if isinstance(envelope, dict) else envelope!r}"
+                )
+            yield envelope
+
+    def _requeue_expired(
+        self,
+        outstanding: dict[int, BackendTask],
+        lease_requeues: dict[int, int],
+        first_seen: dict[str, float],
+    ) -> None:
+        """Return stale-heartbeat leases to pending/ (crashed worker)."""
+        try:
+            names = os.listdir(self._dir(LEASED))
+        except FileNotFoundError:
+            return
+        now = time.time()
+        for name in names:
+            if not name.endswith(".task"):
+                continue
+            index = int(name.split("-", 1)[0])
+            if index not in outstanding:
+                continue  # result already drained; worker will clean up
+            hb = os.path.join(self._dir(LEASED), name[:-5] + ".hb")
+            try:
+                last_beat = os.path.getmtime(hb)
+            except OSError:
+                # No heartbeat yet (worker between rename and first
+                # touch, or died right after claiming): age the lease
+                # from when the coordinator first observed it.
+                last_beat = first_seen.setdefault(name, now)
+            if now - last_beat <= self.lease_timeout:
+                continue
+            try:
+                os.rename(
+                    os.path.join(self._dir(LEASED), name),
+                    os.path.join(self._dir(PENDING), name),
+                )
+            except OSError:
+                continue  # the worker completed it after all
+            try:
+                os.unlink(hb)
+            except OSError:
+                pass
+            first_seen.pop(name, None)
+            self.lease_requeues += 1
+            count = lease_requeues.get(index, 0) + 1
+            lease_requeues[index] = count
+            if count > self.max_lease_requeues:
+                raise LeaseExpiredError(
+                    f"task {outstanding[index].label!r} lost its lease "
+                    f"{count} times (lease_timeout={self.lease_timeout}s); "
+                    "it may be crashing every worker that claims it"
+                )
+
+
+class FileQueueWorker:
+    """Drains a queue directory: lease, execute, heartbeat, publish.
+
+    Safe to run many per host and many hosts per queue; the atomic
+    rename in :meth:`_lease_next` guarantees each pending task is
+    claimed by exactly one worker at a time.
+    """
+
+    def __init__(
+        self,
+        queue_dir: str,
+        poll: float = 0.2,
+        heartbeat: float = 1.0,
+        worker_id: str | None = None,
+    ) -> None:
+        if not queue_dir:
+            raise ConfigurationError("worker needs a queue_dir")
+        self.queue_dir = os.path.abspath(queue_dir)
+        self.poll = float(poll)
+        self.heartbeat = float(heartbeat)
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.processed = 0
+        self.failures = 0
+
+    def _dir(self, state: str) -> str:
+        return os.path.join(self.queue_dir, state)
+
+    def ensure_layout(self) -> None:
+        for state in (PENDING, LEASED, DONE):
+            os.makedirs(self._dir(state), exist_ok=True)
+
+    def run(self, max_tasks: int = 0, idle_exit: float = 0.0) -> int:
+        """Process tasks until a stop condition; returns tasks done.
+
+        ``max_tasks`` > 0 stops after that many tasks; ``idle_exit``
+        > 0 stops after that many consecutive seconds with an empty
+        queue. With neither, runs until killed — the long-lived
+        worker-pool mode.
+        """
+        self.ensure_layout()
+        idle_since = time.monotonic()
+        while True:
+            envelope = self._lease_next()
+            if envelope is None:
+                if idle_exit and time.monotonic() - idle_since >= idle_exit:
+                    return self.processed
+                time.sleep(self.poll)
+                continue
+            self.process(envelope)
+            idle_since = time.monotonic()
+            if max_tasks and self.processed >= max_tasks:
+                return self.processed
+
+    def _lease_next(self) -> dict[str, Any] | None:
+        """Claim the oldest pending task via atomic rename, or None."""
+        try:
+            names = sorted(os.listdir(self._dir(PENDING)))
+        except FileNotFoundError:
+            self.ensure_layout()
+            return None
+        for name in names:
+            if not name.endswith(".task"):
+                continue
+            leased = os.path.join(self._dir(LEASED), name)
+            try:
+                os.rename(os.path.join(self._dir(PENDING), name), leased)
+            except OSError:
+                continue  # another worker won the claim
+            try:
+                with open(leased, "rb") as fh:
+                    envelope = pickle.load(fh)
+                if (
+                    not isinstance(envelope, dict)
+                    or envelope.get("schema") != QUEUE_SCHEMA
+                ):
+                    raise BackendError(
+                        f"task {name} has foreign schema; refusing"
+                    )
+            except Exception:
+                # Unreadable/foreign task: return the claim so another
+                # (possibly newer) worker can judge it.
+                try:
+                    os.rename(leased, os.path.join(self._dir(PENDING), name))
+                except OSError:
+                    pass
+                continue
+            return envelope
+        return None
+
+    def process(self, envelope: dict[str, Any]) -> None:
+        """Execute one leased task and publish its result envelope."""
+        task_id = envelope["id"]
+        hb_path = os.path.join(self._dir(LEASED), task_id + ".hb")
+        with open(hb_path, "wb"):
+            pass
+        beat = _Heartbeat(hb_path, self.heartbeat)
+        beat.start()
+        out: dict[str, Any] = {
+            "schema": QUEUE_SCHEMA,
+            "id": task_id,
+            "index": envelope["index"],
+            "label": envelope["label"],
+            "attempt": envelope["attempt"],
+            "worker": self.worker_id,
+        }
+        try:
+            fn = resolve_callable(envelope["fn"])
+            result, seconds = timed_call(fn, envelope["payload"])
+        except Exception:
+            out.update(
+                ok=False, result=None, error=traceback.format_exc(),
+                seconds=0.0,
+            )
+            self.failures += 1
+        else:
+            out.update(ok=True, result=result, error=None, seconds=seconds)
+            if envelope.get("cache_dir") and envelope.get("key"):
+                # Publish through the shared content-addressed cache:
+                # every engine keyed on the same digest — on any host —
+                # now gets a hit.
+                ResultCache(envelope["cache_dir"]).store(
+                    envelope["key"], result
+                )
+        finally:
+            beat.stop()
+        _atomic_pickle(self._dir(DONE), task_id + ".result", out)
+        self.processed += 1
+        for leftover in (
+            os.path.join(self._dir(LEASED), task_id + ".task"),
+            hb_path,
+        ):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass  # lease was reclaimed while we ran; dup is ignored

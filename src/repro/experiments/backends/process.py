@@ -1,0 +1,68 @@
+"""Single-host process fan-out over a ``ProcessPoolExecutor``."""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Iterator
+
+from repro.errors import ConfigurationError
+from repro.experiments.backends.base import (
+    BackendTask,
+    TaskCompletion,
+    timed_call,
+)
+from repro.experiments.backends.serial import run_serially
+
+__all__ = ["ProcessBackend"]
+
+
+def _timed_call(args: tuple[Callable[[Any], Any], Any]) -> tuple[Any, float]:
+    """Pool entry point: time the task where it runs, in the worker."""
+    fn, payload = args
+    return timed_call(fn, payload)
+
+
+class ProcessBackend:
+    """Fan tasks out across up to ``jobs`` worker processes.
+
+    Completions are yielded as futures finish; per-task ``seconds`` is
+    measured inside the worker, so it reports the task's own execution
+    time rather than time since the pool started. A single task (or
+    ``jobs=1``) skips the pool entirely — spinning up worker processes
+    for one run would only add overhead.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs!r}")
+        self.jobs = int(jobs)
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: list[BackendTask],
+        on_start: Callable[[BackendTask], None] | None = None,
+    ) -> Iterator[TaskCompletion]:
+        if self.jobs == 1 or len(tasks) <= 1:
+            yield from run_serially(fn, tasks, on_start)
+            return
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            for task in tasks:
+                if on_start is not None:
+                    on_start(task)
+                futures[pool.submit(_timed_call, (fn, task.payload))] = task
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = futures[future]
+                    try:
+                        result, seconds = future.result()
+                    except Exception as exc:
+                        yield TaskCompletion(task, error=exc)
+                        return
+                    yield TaskCompletion(task, result=result, seconds=seconds)

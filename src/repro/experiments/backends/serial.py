@@ -1,0 +1,51 @@
+"""In-process sequential execution: the zero-dependency backend."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterator
+
+from repro.experiments.backends.base import BackendTask, TaskCompletion
+
+__all__ = ["SerialBackend", "run_serially"]
+
+
+def run_serially(
+    fn: Callable[[Any], Any],
+    tasks: list[BackendTask],
+    on_start: Callable[[BackendTask], None] | None = None,
+) -> Iterator[TaskCompletion]:
+    """Execute tasks one by one in the calling process.
+
+    Stops at the first failing task (its completion carries the
+    error); the engine aborts the grid on error completions, so later
+    tasks would never be consumed anyway.
+    """
+    for task in tasks:
+        if on_start is not None:
+            on_start(task)
+        t0 = time.perf_counter()
+        try:
+            result = fn(task.payload)
+        except Exception as exc:
+            yield TaskCompletion(
+                task, error=exc, seconds=time.perf_counter() - t0
+            )
+            return
+        yield TaskCompletion(
+            task, result=result, seconds=time.perf_counter() - t0
+        )
+
+
+class SerialBackend:
+    """Run every task inline, in submission order."""
+
+    name = "serial"
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: list[BackendTask],
+        on_start: Callable[[BackendTask], None] | None = None,
+    ) -> Iterator[TaskCompletion]:
+        return run_serially(fn, tasks, on_start)

@@ -1,37 +1,49 @@
-"""The experiment engine: cached, parallel execution of run specs.
+"""The experiment engine: cached, backend-parallel execution of specs.
 
 The engine executes an iterable of :class:`~repro.experiments.artifact.
-RunSpec`s (or any content-keyed task) either inline or fanned out
-across a :class:`concurrent.futures.ProcessPoolExecutor`, with a
+RunSpec`s (or any content-keyed task) through a pluggable
+:class:`~repro.experiments.backends.ExecutionBackend`, with a
 content-addressed on-disk result cache under ``results/cache/``:
 
 * cache keys are the spec's canonical digest — same spec, same key, on
-  any machine and in any process;
-* cache entries are pickled envelopes stamped with the schema version;
-  a version mismatch or an unreadable file counts as an *invalidation*
-  (the entry is deleted and the run re-executed);
+  any machine and in any process (see
+  :mod:`repro.experiments.cache`);
+* the engine owns grid *policy* — cache lookups and stores, results in
+  submission order, :class:`RunEvent` progress, ``require_cached`` —
+  while the backend owns only "run ``fn(payload)`` somewhere":
+  inline (:class:`~repro.experiments.backends.SerialBackend`), across
+  a single-host process pool
+  (:class:`~repro.experiments.backends.ProcessBackend`), or sharded
+  over a shared queue directory drained by ``repro worker`` processes
+  on any number of hosts
+  (:class:`~repro.experiments.backends.FileQueueBackend`);
 * hit/miss/invalidation counts are accounted per engine
-  (:class:`CacheStats`), and ``use_cache=False`` is the escape hatch;
-* per-run progress events (start / hit / done / stored) flow through a
-  caller-supplied callback.
+  (:class:`CacheStats`), and ``use_cache=False`` is the escape hatch.
 
 Determinism is a tested contract: a spec's artifact is bit-identical
-whether it ran inline, in a worker process, or came back from the
-cache (``tests/experiments/test_engine.py``).
+on every backend and from the cache
+(``tests/experiments/test_backends.py``).
 """
 
 from __future__ import annotations
 
-import os
-import pickle
-import tempfile
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.errors import CacheMissError, ConfigurationError, ExperimentError
-from repro.experiments.artifact import SCHEMA_VERSION, RunArtifact, RunSpec
+from repro.errors import (
+    BackendError,
+    CacheMissError,
+    ConfigurationError,
+    ExperimentError,
+)
+from repro.experiments.artifact import RunArtifact, RunSpec
+from repro.experiments.backends import (
+    BackendTask,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+)
+from repro.experiments.cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
 
 __all__ = [
     "CacheStats",
@@ -39,97 +51,8 @@ __all__ = [
     "RunEvent",
     "ExperimentEngine",
     "inline_engine",
+    "DEFAULT_CACHE_DIR",
 ]
-
-DEFAULT_CACHE_DIR = os.path.join("results", "cache")
-
-
-# ----------------------------------------------------------------------
-# the content-addressed result cache
-# ----------------------------------------------------------------------
-
-@dataclass
-class CacheStats:
-    """Hit/miss/invalidation accounting for one engine lifetime."""
-
-    hits: int = 0
-    misses: int = 0
-    invalidations: int = 0
-    stores: int = 0
-
-    def describe(self) -> str:
-        return (
-            f"{self.hits} hit(s), {self.misses} miss(es), "
-            f"{self.invalidations} invalidated"
-        )
-
-
-class ResultCache:
-    """Pickled payloads keyed by content digest, one file per key.
-
-    Writes are atomic (temp file + ``os.replace``) so a crashed or
-    parallel run can never leave a torn entry behind; torn/garbage
-    entries from other causes are detected at load, counted as
-    invalidations, and deleted.
-    """
-
-    def __init__(self, directory: str = DEFAULT_CACHE_DIR) -> None:
-        self.directory = directory
-        self.stats = CacheStats()
-
-    def path(self, key: str) -> str:
-        if not key or any(c in key for c in "/\\"):
-            raise ConfigurationError(f"bad cache key {key!r}")
-        return os.path.join(self.directory, f"{key}.pkl")
-
-    def load(self, key: str) -> Any | None:
-        """Return the cached payload, or None on miss/invalidation."""
-        path = self.path(key)
-        try:
-            with open(path, "rb") as fh:
-                envelope = pickle.load(fh)
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except Exception:  # torn write, foreign file, unpicklable class
-            self._invalidate(path)
-            return None
-        if (
-            not isinstance(envelope, dict)
-            or envelope.get("schema") != SCHEMA_VERSION
-            or envelope.get("key") != key
-        ):
-            self._invalidate(path)
-            return None
-        self.stats.hits += 1
-        return envelope["payload"]
-
-    def store(self, key: str, payload: Any) -> str:
-        """Atomically write one payload; returns the entry path."""
-        path = self.path(key)
-        os.makedirs(self.directory, exist_ok=True)
-        envelope = {"schema": SCHEMA_VERSION, "key": key, "payload": payload}
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self.stats.stores += 1
-        return path
-
-    def _invalidate(self, path: str) -> None:
-        self.stats.invalidations += 1
-        self.stats.misses += 1
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
 
 
 # ----------------------------------------------------------------------
@@ -138,7 +61,12 @@ class ResultCache:
 
 @dataclass(frozen=True)
 class RunEvent:
-    """One progress event: ``kind`` is start | hit | done | stored."""
+    """One progress event: ``kind`` is start | hit | done | stored.
+
+    ``seconds`` on a ``done`` event is the task's own execution time,
+    measured where the task ran (a pool or file-queue worker times the
+    call around ``fn`` itself, so queue wait is excluded).
+    """
 
     kind: str
     label: str
@@ -153,12 +81,14 @@ class RunEvent:
 # ----------------------------------------------------------------------
 
 class ExperimentEngine:
-    """Executes content-keyed tasks with caching and process fan-out.
+    """Executes content-keyed tasks with caching and backend fan-out.
 
-    ``jobs`` > 1 runs cache-missing tasks across a
-    ``ProcessPoolExecutor``; results are returned in submission order
-    regardless of completion order, and cache writes happen in the
-    parent so concurrent engines never race on entry files beyond the
+    Without an explicit ``backend``, ``jobs`` picks one: 1 runs tasks
+    inline, > 1 fans cache-missing tasks across a process pool.
+    Results are returned in submission order regardless of completion
+    order, and cache writes happen in the coordinating process (plus,
+    for the file queue, in the worker that executed the task), so
+    concurrent engines never race on entry files beyond the
     atomic-replace guarantee.
     """
 
@@ -169,6 +99,7 @@ class ExperimentEngine:
         use_cache: bool = True,
         progress: Callable[[RunEvent], None] | None = None,
         require_cached: bool = False,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs!r}")
@@ -177,7 +108,11 @@ class ExperimentEngine:
                 "require_cached=True is meaningless with use_cache=False"
             )
         self.jobs = int(jobs)
+        if backend is None:
+            backend = ProcessBackend(jobs) if jobs > 1 else SerialBackend()
+        self.backend = backend
         self.cache = ResultCache(cache_dir) if use_cache else None
+        self._disabled_stats = CacheStats()
         self.progress = progress
         self.require_cached = bool(require_cached)
         self.executed = 0
@@ -185,8 +120,9 @@ class ExperimentEngine:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> CacheStats:
-        """Cache accounting (all-zero when caching is disabled)."""
-        return self.cache.stats if self.cache is not None else CacheStats()
+        """Cache accounting; a stable all-zero instance when caching is
+        disabled, so callers can hold a reference either way."""
+        return self.cache.stats if self.cache is not None else self._disabled_stats
 
     def _emit(self, event: RunEvent) -> None:
         if self.progress is not None:
@@ -204,9 +140,10 @@ class ExperimentEngine:
     ) -> list[Any]:
         """Run ``fn(payload)`` for every payload, in order.
 
-        ``fn`` must be a module-level callable (it crosses process
-        boundaries when ``jobs`` > 1). ``keys[i]`` is the cache key for
-        payload ``i`` (None disables caching for that task).
+        ``fn`` must be a module-level callable (it crosses process —
+        and, on the file-queue backend, host — boundaries). ``keys[i]``
+        is the cache key for payload ``i`` (None disables caching for
+        that task).
         """
         payloads = list(payloads)
         total = len(payloads)
@@ -236,41 +173,39 @@ class ExperimentEngine:
             )
         if not pending:
             return results
-        if self.jobs > 1 and len(pending) > 1:
-            self._run_pool(fn, payloads, keys, labels, results, pending, total)
-        else:
-            for i in pending:
-                self._emit(RunEvent("start", labels[i], i, total, keys[i]))
-                t0 = time.perf_counter()
-                results[i] = fn(payloads[i])
-                self.executed += 1
-                self._emit(
-                    RunEvent("done", labels[i], i, total, keys[i],
-                             time.perf_counter() - t0)
-                )
-                self._store(keys[i], labels[i], results[i], i, total)
-        return results
 
-    def _run_pool(self, fn, payloads, keys, labels, results, pending, total):
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            t0 = time.perf_counter()
-            futures = {}
-            for i in pending:
-                self._emit(RunEvent("start", labels[i], i, total, keys[i]))
-                futures[pool.submit(fn, payloads[i])] = i
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for future in done:
-                    i = futures[future]
-                    results[i] = future.result()  # re-raises worker errors
-                    self.executed += 1
-                    self._emit(
-                        RunEvent("done", labels[i], i, total, keys[i],
-                                 time.perf_counter() - t0)
+        tasks = [
+            BackendTask(index=i, payload=payloads[i], key=keys[i], label=labels[i])
+            for i in pending
+        ]
+
+        def on_start(task: BackendTask) -> None:
+            self._emit(RunEvent("start", task.label, task.index, total, task.key))
+
+        remaining = set(pending)
+        for completion in self.backend.run(fn, tasks, on_start=on_start):
+            i = completion.task.index
+            if completion.error is not None:
+                error = completion.error
+                if hasattr(error, "add_note"):  # pragma: no branch
+                    error.add_note(
+                        f"task {labels[i]!r} (index {i}) failed on the "
+                        f"{self.backend.name} backend"
                     )
-                    self._store(keys[i], labels[i], results[i], i, total)
+                raise error
+            results[i] = completion.result
+            remaining.discard(i)
+            self.executed += 1
+            self._emit(
+                RunEvent("done", labels[i], i, total, keys[i], completion.seconds)
+            )
+            self._store(keys[i], labels[i], results[i], i, total)
+        if remaining:
+            raise BackendError(
+                f"backend {self.backend.name!r} completed without results "
+                f"for task(s): {', '.join(labels[i] for i in sorted(remaining))}"
+            )
+        return results
 
     def _store(self, key, label, payload, index, total):
         if self.cache is not None and key:

@@ -1,0 +1,381 @@
+"""Execution-backend contracts: bit-identical artifacts on every
+backend, lease requeue after a worker crash, per-task retry caps, and
+the CLI surface (``--backend``, ``repro worker``).
+
+File-queue tests drive the coordinator and an in-process worker on
+separate threads against a tmp queue directory; one test exercises the
+real ``repro worker`` subprocess. All simulation runs use the reduced
+scale from ``test_engine`` (load_scale 300, 60 s).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    BackendError,
+    ConfigurationError,
+    ExperimentError,
+    RetryExhaustedError,
+)
+from repro.experiments.artifact import RunSpec
+from repro.experiments.backends import (
+    BackendTask,
+    FileQueueBackend,
+    FileQueueWorker,
+    ProcessBackend,
+    SerialBackend,
+    callable_ref,
+    make_backend,
+    resolve_callable,
+)
+from repro.experiments.engine import ExperimentEngine, ResultCache
+from tests.experiments.test_engine import small_config
+
+
+# ----------------------------------------------------------------------
+# module-level task functions (must be importable by reference)
+# ----------------------------------------------------------------------
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+def _sleep_for(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+def _raise_for_two(n: int) -> int:
+    if n == 2:
+        raise ExperimentError("boom")
+    return n
+
+
+def _always_boom(_payload) -> None:
+    raise ValueError("deterministic failure")
+
+
+def _flaky(marker_path: str) -> str:
+    """Fails on the first attempt, succeeds once the marker exists."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w"):
+            pass
+        raise ValueError("transient failure on first attempt")
+    return "ok"
+
+
+def _drain(queue_dir: str, **kwargs) -> FileQueueWorker:
+    """Start an in-process worker thread; returns the worker (joinable
+    via its ``thread`` attribute)."""
+    worker = FileQueueWorker(queue_dir, poll=0.02, heartbeat=0.05)
+    thread = threading.Thread(
+        target=worker.run, kwargs=kwargs, daemon=True
+    )
+    worker.thread = thread
+    thread.start()
+    return worker
+
+
+# ----------------------------------------------------------------------
+# callable references
+# ----------------------------------------------------------------------
+
+def test_callable_ref_roundtrip():
+    ref = callable_ref(_double)
+    assert ref == f"{__name__}:_double"
+    assert resolve_callable(ref) is _double
+
+
+def test_callable_ref_rejects_locals_and_lambdas():
+    def nested(x):
+        return x
+
+    with pytest.raises(BackendError):
+        callable_ref(nested)
+    with pytest.raises(BackendError):
+        callable_ref(lambda x: x)
+
+
+def test_resolve_rejects_garbage():
+    with pytest.raises(BackendError):
+        resolve_callable("no-colon")
+    with pytest.raises(BackendError):
+        resolve_callable("nonexistent.module:fn")
+    with pytest.raises(BackendError):
+        resolve_callable(f"{__name__}:not_there")
+
+
+def test_make_backend_names(tmp_path):
+    assert isinstance(make_backend("serial"), SerialBackend)
+    assert isinstance(make_backend("process", jobs=3), ProcessBackend)
+    fq = make_backend("file-queue", queue_dir=str(tmp_path / "q"))
+    assert isinstance(fq, FileQueueBackend)
+    with pytest.raises(ConfigurationError):
+        make_backend("file-queue")  # needs a queue dir
+    with pytest.raises(ConfigurationError):
+        make_backend("slurm")
+
+
+# ----------------------------------------------------------------------
+# determinism: the same spec is bit-identical on all three backends
+# ----------------------------------------------------------------------
+
+def test_bit_identical_artifacts_across_backends(tmp_path):
+    spec = RunSpec("conscale", small_config())
+    filler = RunSpec("ec2", small_config())  # forces a real pool
+
+    serial = ExperimentEngine(use_cache=False).run(spec)
+    process = ExperimentEngine(jobs=2, use_cache=False).run_many(
+        [spec, filler]
+    )[0]
+
+    queue_dir = str(tmp_path / "q")
+    cache_dir = str(tmp_path / "cache")
+    worker = _drain(queue_dir, max_tasks=1)
+    fq_engine = ExperimentEngine(
+        cache_dir=cache_dir,
+        backend=FileQueueBackend(queue_dir, cache_dir=cache_dir, poll=0.02),
+    )
+    file_queue = fq_engine.run(spec)
+    worker.thread.join(timeout=30)
+
+    assert serial.signature() == process.signature()
+    assert serial.signature() == file_queue.signature()
+    # the worker published through the shared cache: a fresh engine on
+    # "another host" gets a pure hit
+    other_host = ExperimentEngine(cache_dir=cache_dir, require_cached=True)
+    assert other_host.run(spec).signature() == serial.signature()
+    assert other_host.stats.hits == 1 and other_host.executed == 0
+
+
+def test_filequeue_runs_generic_tasks(tmp_path):
+    queue_dir = str(tmp_path / "q")
+    worker = _drain(queue_dir, max_tasks=4)
+    engine = ExperimentEngine(
+        use_cache=False, backend=FileQueueBackend(queue_dir, poll=0.02)
+    )
+    assert engine.run_tasks(_double, [1, 2, 3, 4]) == [2, 4, 6, 8]
+    worker.thread.join(timeout=10)
+    assert worker.processed == 4
+    assert engine.executed == 4
+
+
+# ----------------------------------------------------------------------
+# worker crash: lease expiry requeues, the grid still completes
+# ----------------------------------------------------------------------
+
+def test_killed_worker_lease_is_requeued_and_grid_completes(tmp_path):
+    queue_dir = tmp_path / "q"
+    backend = FileQueueBackend(
+        str(queue_dir), poll=0.02, lease_timeout=0.3, heartbeat=0.05
+    )
+    tasks = [BackendTask(i, i, None, f"t{i}") for i in range(3)]
+    completions: list = []
+    failure: list = []
+    finished = threading.Event()
+
+    def coordinate():
+        try:
+            completions.extend(backend.run(_double, tasks))
+        except BaseException as exc:  # surfaced via the assert below
+            failure.append(exc)
+        finally:
+            finished.set()
+
+    threading.Thread(target=coordinate, daemon=True).start()
+
+    # A "worker" claims one task and dies: lease rename happened, but
+    # no heartbeat and no result will ever follow.
+    pending = queue_dir / "pending"
+    leased = queue_dir / "leased"
+    victim = None
+    deadline = time.monotonic() + 10
+    while victim is None and time.monotonic() < deadline:
+        for name in sorted(os.listdir(pending)) if pending.exists() else []:
+            if name.endswith(".task"):
+                try:
+                    os.rename(pending / name, leased / name)
+                except OSError:
+                    continue
+                victim = name
+                break
+        time.sleep(0.01)
+    assert victim is not None, "no task ever appeared in pending/"
+
+    # A live worker drains the rest — including the victim once the
+    # coordinator expires its lease.
+    worker = _drain(str(queue_dir), max_tasks=3)
+    assert finished.wait(timeout=30), "grid did not complete"
+    worker.thread.join(timeout=10)
+    assert not failure
+    assert sorted(c.task.index for c in completions) == [0, 1, 2]
+    assert {c.task.index: c.result for c in completions} == {0: 0, 1: 2, 2: 4}
+    assert backend.lease_requeues >= 1
+
+
+# ----------------------------------------------------------------------
+# retries: transient failures absorbed, deterministic ones capped
+# ----------------------------------------------------------------------
+
+def test_flaky_task_retried_to_success(tmp_path):
+    queue_dir = str(tmp_path / "q")
+    worker = _drain(queue_dir, max_tasks=2)  # failing attempt + retry
+    engine = ExperimentEngine(
+        use_cache=False,
+        backend=FileQueueBackend(queue_dir, poll=0.02, max_attempts=2),
+    )
+    marker = str(tmp_path / "attempted")
+    assert engine.run_tasks(_flaky, [marker], labels=["flaky"]) == ["ok"]
+    worker.thread.join(timeout=10)
+    assert engine.backend.retries == 1
+    assert worker.failures == 1
+
+
+def test_retry_cap_surfaces_worker_traceback(tmp_path):
+    queue_dir = str(tmp_path / "q")
+    worker = _drain(queue_dir, max_tasks=2)
+    engine = ExperimentEngine(
+        use_cache=False,
+        backend=FileQueueBackend(queue_dir, poll=0.02, max_attempts=2),
+    )
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        engine.run_tasks(_always_boom, [None], labels=["doomed"])
+    worker.thread.join(timeout=10)
+    message = str(excinfo.value)
+    assert "'doomed'" in message and "2 attempt(s)" in message
+    assert "deterministic failure" in message  # the worker's traceback
+
+
+def test_process_backend_failure_carries_task_label(tmp_path):
+    engine = ExperimentEngine(jobs=2, cache_dir=str(tmp_path))
+    with pytest.raises(ExperimentError, match="boom") as excinfo:
+        engine.run_tasks(_raise_for_two, [1, 2], labels=["one", "two"])
+    notes = getattr(excinfo.value, "__notes__", [])
+    assert any("'two'" in note and "process backend" in note for note in notes)
+
+
+def test_serial_backend_failure_carries_task_label():
+    engine = ExperimentEngine(use_cache=False)
+    with pytest.raises(ExperimentError, match="boom") as excinfo:
+        engine.run_tasks(_raise_for_two, [2], labels=["solo"])
+    notes = getattr(excinfo.value, "__notes__", [])
+    assert any("'solo'" in note and "serial backend" in note for note in notes)
+
+
+# ----------------------------------------------------------------------
+# satellite fixes: per-task timing, stable stats, key validation
+# ----------------------------------------------------------------------
+
+def test_done_event_seconds_are_per_task_not_pool_wide():
+    """A fast task's `done` event must report its own execution time,
+    not elapsed time since the pool started (which includes worker
+    spawn and the slow task's runtime)."""
+    events = []
+    engine = ExperimentEngine(jobs=2, use_cache=False, progress=events.append)
+    engine.run_tasks(_sleep_for, [0.5, 0.01], labels=["slow", "fast"])
+    seconds = {e.label: e.seconds for e in events if e.kind == "done"}
+    assert seconds["slow"] >= 0.5
+    assert seconds["fast"] < 0.25
+
+
+def test_stats_is_a_stable_instance_without_cache():
+    engine = ExperimentEngine(use_cache=False)
+    held = engine.stats
+    assert engine.stats is held
+    engine.run_tasks(_double, [1])
+    assert engine.stats is held
+    assert held.hits == held.misses == held.stores == 0
+
+
+def test_cache_key_shape_validation(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    for bad in (".", "..", "../escape", "a/b", "a\\b", "", "short",
+                "DEADBEEFCAFE", "label with spaces", "x" * 65, 7):
+        with pytest.raises(ConfigurationError):
+            cache.path(bad)
+    # digest-shaped keys pass: full SHA-256 and short hex test keys
+    cache.store("deadbeef" * 8, {"v": 1})
+    assert cache.load("deadbeef" * 8) == {"v": 1}
+    assert cache.path("cafef00d").endswith("cafef00d.pkl")
+
+
+# ----------------------------------------------------------------------
+# CLI: --backend flag and the worker subcommand
+# ----------------------------------------------------------------------
+
+def test_cli_backend_serial(capsys, tmp_path, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    argv = [
+        "table1", "--scale", "300", "--duration", "60", "--seed", "2",
+        "--traces", "dual_phase", "--backend", "serial",
+    ]
+    assert main(argv) == 0
+    assert "dual_phase" in capsys.readouterr().out
+
+
+def test_cli_filequeue_requires_queue_dir(capsys):
+    from repro.cli import main
+
+    assert main([
+        "table1", "--traces", "dual_phase", "--backend", "file-queue",
+    ]) == 2
+    assert "--queue-dir" in capsys.readouterr().err
+
+
+def test_cli_filequeue_grid_with_worker_subprocess(capsys, tmp_path, monkeypatch):
+    """End to end: coordinator CLI + one `repro worker` subprocess."""
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    queue_dir = str(tmp_path / "q")
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    )
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", queue_dir,
+         "--max-tasks", "2", "--idle-exit", "60", "--poll", "0.05"],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        argv = [
+            "table1", "--scale", "300", "--duration", "60", "--seed", "2",
+            "--traces", "dual_phase", "--backend", "file-queue",
+            "--queue-dir", queue_dir,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "dual_phase" in first
+        assert "0 hit(s), 2 miss(es)" in first
+        stderr = proc.communicate(timeout=60)[1]
+        assert proc.returncode == 0
+        assert "2 task(s) processed, 0 failure(s)" in stderr
+
+        # second run: everything the workers published is cache-served
+        assert main([
+            "table1", "--scale", "300", "--duration", "60", "--seed", "2",
+            "--traces", "dual_phase", "--cached-only",
+        ]) == 0
+        second = capsys.readouterr().out
+        assert "2 hit(s), 0 miss(es)" in second
+        assert [ln for ln in second.splitlines() if "dual_phase" in ln] == [
+            ln for ln in first.splitlines() if "dual_phase" in ln
+        ]
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()

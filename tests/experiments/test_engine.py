@@ -1,6 +1,10 @@
 """The experiment engine's contracts: spec identity, determinism,
 parallel equivalence, and cache round-trips.
 
+Execution-backend contracts (bit-identical artifacts on every backend,
+file-queue lease recovery, retry caps, `repro worker`) live in
+``test_backends.py``.
+
 Runs here use a strongly reduced scale (load_scale 300, 60 s) so every
 experiment finishes in well under a second.
 """
