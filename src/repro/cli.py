@@ -7,6 +7,9 @@ Commands:
   same scenario (e.g. two ConScale headroom settings): first
   divergence, per-tier cap-decision deltas, tail-latency deltas;
 * ``compare`` — all four frameworks on one trace (JSON/HTML export);
+* ``resilience`` — the fault-injection suite: every framework crossed
+  with each fault class on a bursty trace, with failed/retried counts
+  and per-fault recovery times;
 * ``sweep`` — a concurrency sweep against one tier;
 * ``table1`` — regenerate Table I;
 * ``figure`` — regenerate one figure by number (1, 3, 5, 6, 7, 9, 10, 11);
@@ -46,9 +49,15 @@ from repro.experiments.calibration import (
 from repro.experiments.backends import BACKEND_NAMES, FileQueueWorker, make_backend
 from repro.experiments.engine import DEFAULT_CACHE_DIR, ExperimentEngine, RunEvent
 from repro.experiments.report import ensure_results_dir, format_table
+from repro.experiments.resilience import (
+    RESILIENCE_HEADERS,
+    resilience_rows,
+    resilience_suite,
+)
 from repro.experiments.runner import FRAMEWORKS
 from repro.experiments.scenarios import ScenarioConfig
 from repro.experiments.sweep import concurrency_sweep
+from repro.faults.plan import parse_faults
 from repro.workload.mixes import browse_only_mix, read_write_mix
 from repro.workload.shapes import TRACE_NAMES, make_trace
 
@@ -65,6 +74,11 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
                         help="load scale (1 = paper scale, slower)")
     parser.add_argument("--duration", type=float, default=700.0)
     parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--topology", default="1,1,1", metavar="W,A,D",
+        help="starting replica counts web,app,db (crash faults need "
+        ">= 2 replicas in the target tier)",
+    )
 
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
@@ -135,10 +149,20 @@ def _report_cache(engine: ExperimentEngine) -> None:
         print(f"cache: {engine.stats.describe()}")
 
 
+def _parse_topology(text: str) -> tuple[int, int, int]:
+    parts = [p.strip() for p in text.split(",")]
+    if len(parts) != 3 or not all(p.isdigit() for p in parts):
+        raise ConfigurationError(
+            f"--topology must be three integers W,A,D, got {text!r}"
+        )
+    return (int(parts[0]), int(parts[1]), int(parts[2]))
+
+
 def _config(args: argparse.Namespace) -> ScenarioConfig:
     return ScenarioConfig(
         name="cli", trace_name=args.trace, load_scale=args.scale,
         duration=args.duration, seed=args.seed,
+        topology=_parse_topology(getattr(args, "topology", "1,1,1")),
     )
 
 
@@ -147,6 +171,8 @@ def _tail_row(framework: str, result) -> tuple:
     return (
         framework,
         result.completed,
+        result.failed,
+        result.retried,
         round(tail.p50 * 1000, 1),
         round(tail.p95 * 1000, 1),
         round(tail.p99 * 1000, 1),
@@ -154,7 +180,10 @@ def _tail_row(framework: str, result) -> tuple:
     )
 
 
-_TAIL_HEADERS = ["framework", "requests", "p50_ms", "p95_ms", "p99_ms", "max_vms"]
+_TAIL_HEADERS = [
+    "framework", "requests", "failed", "retried",
+    "p50_ms", "p95_ms", "p99_ms", "max_vms",
+]
 
 
 def _run_overrides(framework: str, headroom: float | None) -> RunOverrides:
@@ -173,9 +202,28 @@ def cmd_run(args: argparse.Namespace) -> int:
             args.framework,
             _config(args),
             _run_overrides(args.framework, args.headroom),
+            faults=parse_faults(args.faults),
         )
     )
     print(format_table(_TAIL_HEADERS, [_tail_row(args.framework, result)]))
+    if result.spec.faults is not None:
+        in_flight = result.generated - result.completed - result.failed
+        verdict = "ok" if in_flight >= 0 else "VIOLATED"
+        print(
+            f"conservation {verdict}: generated={result.generated} "
+            f"completed={result.completed} failed={result.failed} "
+            f"in_flight_end={in_flight}"
+        )
+        print(f"fault events: {len(result.actions.faults())}")
+        summary = result.resilience
+        if summary is not None and summary.episodes:
+            recoveries = ",".join(
+                "never" if t != t else f"{t:.0f}s" for t in summary.recovery_s
+            )
+            print(
+                f"resilience: timeouts={summary.timeouts} "
+                f"abandoned={summary.abandoned} recover=[{recoveries}]"
+            )
     _report_cache(engine)
     if args.save:
         from repro.experiments.persistence import save_result
@@ -192,10 +240,14 @@ def cmd_diff(args: argparse.Namespace) -> int:
     """Diff the decision traces of two *cached* runs of one scenario."""
     config = _config(args)
     spec_a = RunSpec(
-        args.framework, config, _run_overrides(args.framework, args.headroom_a)
+        args.framework, config,
+        _run_overrides(args.framework, args.headroom_a),
+        faults=parse_faults(args.faults_a),
     )
     spec_b = RunSpec(
-        args.framework, config, _run_overrides(args.framework, args.headroom_b)
+        args.framework, config,
+        _run_overrides(args.framework, args.headroom_b),
+        faults=parse_faults(args.faults_b),
     )
     if spec_a == spec_b:
         print("note: both sides resolve to the same spec "
@@ -244,6 +296,32 @@ def cmd_compare(args: argparse.Namespace) -> int:
             summaries, args.html, title=f"framework comparison — {args.trace}"
         )
         print(f"HTML report written to {path}")
+    return 0
+
+
+def cmd_resilience(args: argparse.Namespace) -> int:
+    """Run the resilience suite: frameworks x fault classes."""
+    if args.frameworks:
+        frameworks = tuple(
+            f.strip() for f in args.frameworks.split(",") if f.strip()
+        )
+        unknown = sorted(set(frameworks) - set(FRAMEWORKS))
+        if unknown:
+            print(f"unknown frameworks: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    else:
+        frameworks = FRAMEWORKS
+    engine = _engine(args)
+    specs = resilience_suite(
+        load_scale=args.scale,
+        duration=args.duration,
+        seed=args.seed,
+        frameworks=frameworks,
+        trace_name=args.trace,
+    )
+    results = engine.run_many(specs)
+    print(format_table(RESILIENCE_HEADERS, resilience_rows(results)))
+    _report_cache(engine)
     return 0
 
 
@@ -411,6 +489,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pickle the full run artifact to this path")
     p_run.add_argument("--headroom", type=float, default=None,
                        help="ConScale headroom override (conscale only)")
+    p_run.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="comma-separated fault plan, e.g. 'crash:db:120' or "
+        "'slow:app:60:30:4,dropout:all:200:25' (kinds: slow, crash, "
+        "prov, dropout, timeout)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_diff = sub.add_parser(
@@ -431,6 +515,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--material-only", action="store_true",
         help="ignore no-op ticks when locating the first divergence",
     )
+    p_diff.add_argument("--faults-a", default=None, metavar="PLAN",
+                        help="fault plan of side A (see `run --faults`)")
+    p_diff.add_argument("--faults-b", default=None, metavar="PLAN",
+                        help="fault plan of side B (see `run --faults`)")
     p_diff.set_defaults(func=cmd_diff)
 
     p_cmp = sub.add_parser("compare", help="run all frameworks on one trace")
@@ -441,6 +529,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--html", default=None,
                        help="write a self-contained HTML report to this path")
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_res = sub.add_parser(
+        "resilience",
+        help="run the resilience suite (frameworks x fault classes)",
+    )
+    p_res.add_argument(
+        "--frameworks", default=None,
+        help="comma-separated subset of the frameworks (default: all)",
+    )
+    p_res.add_argument("--trace", default="quickly_varying",
+                       help="bursty trace driving the suite")
+    p_res.add_argument("--scale", type=float, default=50.0)
+    p_res.add_argument("--duration", type=float, default=300.0)
+    p_res.add_argument("--seed", type=int, default=3)
+    _add_engine_args(p_res)
+    p_res.set_defaults(func=cmd_resilience)
 
     p_sweep = sub.add_parser("sweep", help="concurrency sweep against a tier")
     p_sweep.add_argument("tier", choices=["app", "db"])

@@ -31,6 +31,23 @@ class Hypervisor:
         self._vms: dict[str, VM] = {}
         self._pending: dict[str, EventHandle] = {}
         self._counter = 0
+        self._launch_interceptor: (
+            Callable[[str, float], tuple[str, float]] | None
+        ) = None
+
+    def set_launch_interceptor(
+        self, interceptor: Callable[[str, float], tuple[str, float]] | None
+    ) -> None:
+        """Install (or clear) a provisioning-fault hook.
+
+        ``interceptor(tier, delay)`` sees every launch and returns
+        ``(outcome, delay)`` where outcome is ``"ok"`` (provision after
+        ``delay``) or ``"fail"`` (after ``delay`` the VM goes STOPPED
+        and the launch's ``on_failed`` fires instead of ``on_ready``).
+        Used by the fault injector for provisioning failure/delay
+        windows.
+        """
+        self._launch_interceptor = interceptor
 
     # ------------------------------------------------------------------
     # lifecycle API
@@ -41,8 +58,15 @@ class Hypervisor:
         on_ready: Callable[[VM], None],
         vcpus: float = 1.0,
         prep_period: float | None = None,
+        on_failed: Callable[[VM], None] | None = None,
     ) -> VM:
-        """Provision a VM; ``on_ready(vm)`` fires after the prep period."""
+        """Provision a VM; ``on_ready(vm)`` fires after the prep period.
+
+        When a launch interceptor is installed (fault injection) the
+        provisioning may instead fail: the VM transitions to STOPPED
+        and ``on_failed(vm)`` fires (when provided) in place of
+        ``on_ready``.
+        """
         self._counter += 1
         vm = VM(
             name=f"{tier}-vm{self._counter}",
@@ -52,13 +76,29 @@ class Hypervisor:
         )
         self._vms[vm.name] = vm
         delay = self.prep_period if prep_period is None else float(prep_period)
+        outcome = "ok"
+        if self._launch_interceptor is not None:
+            outcome, delay = self._launch_interceptor(tier, delay)
+            if outcome not in ("ok", "fail"):
+                raise CloudError(
+                    f"launch interceptor returned invalid outcome {outcome!r}"
+                )
+            delay = float(delay)
 
         def _ready() -> None:
             self._pending.pop(vm.name, None)
             vm.transition(VmState.RUNNING, self.sim.now)
             on_ready(vm)
 
-        self._pending[vm.name] = self.sim.schedule_after(delay, _ready)
+        def _failed() -> None:
+            self._pending.pop(vm.name, None)
+            vm.transition(VmState.STOPPED, self.sim.now)
+            if on_failed is not None:
+                on_failed(vm)
+
+        self._pending[vm.name] = self.sim.schedule_after(
+            delay, _failed if outcome == "fail" else _ready
+        )
         return vm
 
     def mark_draining(self, vm: VM) -> None:

@@ -27,15 +27,19 @@ __all__ = [
     "DecisionEvent",
     "THRESHOLD_TRIP",
     "NOOP",
+    "STALE_HOLD",
     "HARDWARE_KINDS",
     "SOFT_KINDS",
     "POLICY_KINDS",
+    "FAULT_KINDS",
 ]
 
 #: A tier's threshold policy decided to scale ("out"/"in" in ``detail``).
 THRESHOLD_TRIP = "threshold_trip"
 #: A decision tick evaluated a tier and chose to do nothing (see ``reason``).
 NOOP = "noop"
+#: A controller held its last-known-good caps because telemetry was stale.
+STALE_HOLD = "stale_hold"
 
 #: Hardware action kinds, in lifecycle order per action type.
 HARDWARE_KINDS = (
@@ -56,7 +60,18 @@ SOFT_KINDS = (
 )
 
 #: Kinds emitted by the decision loop itself rather than the actuator.
-POLICY_KINDS = (THRESHOLD_TRIP, NOOP)
+POLICY_KINDS = (THRESHOLD_TRIP, NOOP, STALE_HOLD)
+
+#: Fault-injection lifecycle kinds: every activation/recovery the
+#: injector performs, plus the resilience reactions of the actuator
+#: (dead-replica ejection, provisioning retry with backoff).
+FAULT_KINDS = (
+    "fault_injected",
+    "fault_recovered",
+    "server_ejected",
+    "scale_out_failed",
+    "scale_out_retry",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -103,3 +118,7 @@ class DecisionEvent:
     @property
     def is_hardware(self) -> bool:
         return self.kind in HARDWARE_KINDS
+
+    @property
+    def is_fault(self) -> bool:
+        return self.kind in FAULT_KINDS

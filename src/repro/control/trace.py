@@ -98,6 +98,12 @@ class DecisionTrace:
         """The explicit do-nothing ticks, each with its reason."""
         return [e for e in self._events if e.kind == NOOP]
 
+    def faults(self) -> list[DecisionEvent]:
+        """Fault-injection lifecycle events: injector activations and
+        recoveries plus the resilience reactions they provoked
+        (dead-replica ejection, provisioning retries)."""
+        return [e for e in self._events if e.is_fault]
+
     def scale_out_times(self, tier: str) -> list[float]:
         """Times at which new VMs became ready in a tier (figure markers)."""
         return [

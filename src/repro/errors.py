@@ -18,6 +18,7 @@ __all__ = [
     "MonitoringError",
     "EstimationError",
     "ScalingError",
+    "FaultError",
     "CloudError",
     "ExperimentError",
     "CacheMissError",
@@ -65,6 +66,12 @@ class EstimationError(ReproError):
 
 class ScalingError(ReproError):
     """A scaling controller or actuator was driven into an invalid state."""
+
+
+class FaultError(ReproError):
+    """Fault injection hit an impossible target, or a component found
+    itself acting on infrastructure that no longer exists (e.g. a drain
+    poll for a server that crashed out from under it)."""
 
 
 class CloudError(ReproError):

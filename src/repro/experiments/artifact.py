@@ -31,6 +31,8 @@ import numpy as np
 from repro.control.trace import DecisionTrace
 from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.scenarios import ScenarioConfig
+from repro.faults.plan import FaultPlan
+from repro.faults.summary import ResilienceSummary
 from repro.monitoring.percentiles import TailSummary, tail_summary
 from repro.monitoring.records import TimelineBin
 from repro.scaling.dcm import DcmTrainedProfile
@@ -51,13 +53,16 @@ __all__ = [
 #: Bump to invalidate every cached artifact (layout or semantics change).
 #: v2: ``actions`` became a columnar :class:`DecisionTrace` (threshold
 #: trips, reasons, SCT estimates, no-op ticks) and joined the signature.
-SCHEMA_VERSION = 2
+#: v3: specs grew a :class:`~repro.faults.plan.FaultPlan`; artifacts
+#: grew failed/retried counters and a resilience summary, all in the
+#: signature.
+SCHEMA_VERSION = 3
 
 #: Older artifact schemas that still load (``DecisionTrace`` upgrades
-#: their pickled ``ActionLog`` transparently). The result *cache* only
-#: accepts the current version; this set is for explicitly saved
-#: artifact files.
-COMPAT_SCHEMAS = frozenset({1, SCHEMA_VERSION})
+#: their pickled ``ActionLog`` transparently; pre-fault artifacts read
+#: as fault-free). The result *cache* only accepts the current version;
+#: this set is for explicitly saved artifact files.
+COMPAT_SCHEMAS = frozenset({1, 2, SCHEMA_VERSION})
 
 FRAMEWORKS = ("ec2", "dcm", "conscale", "predictive")
 
@@ -166,12 +171,25 @@ class RunSpec:
     framework: str
     config: ScenarioConfig
     overrides: RunOverrides = field(default_factory=RunOverrides)
+    # The fault plan lives on the *spec*, not the ScenarioConfig: a
+    # faulted run and its fault-free twin then share a config digest,
+    # which is exactly what ``repro diff`` requires to compare them.
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.framework not in FRAMEWORKS:
             raise ConfigurationError(
                 f"framework must be one of {FRAMEWORKS}, got {self.framework!r}"
             )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ConfigurationError(
+                f"faults must be a FaultPlan or None, got "
+                f"{type(self.faults).__qualname__}"
+            )
+        if self.faults is not None and not self.faults:
+            # Normalise "empty plan" to "no plan" so both spell the
+            # same digest.
+            object.__setattr__(self, "faults", None)
 
     # ScenarioConfig nests dicts (Calibration.base_demands), so the
     # generated field-tuple hash would fail; identity is the digest.
@@ -194,7 +212,10 @@ class RunSpec:
     def label(self) -> str:
         """Short human-readable identity for progress reporting."""
         cfg = self.config
-        return f"{self.framework}/{cfg.trace_name}@{cfg.name}#seed{cfg.seed}"
+        base = f"{self.framework}/{cfg.trace_name}@{cfg.name}#seed{cfg.seed}"
+        if self.faults is not None:
+            return f"{base}!{self.faults.describe()}"
+        return base
 
 
 # ----------------------------------------------------------------------
@@ -245,6 +266,12 @@ class RunArtifact:
     cpu_series: dict[str, tuple[np.ndarray, np.ndarray]]
     estimates: dict[str, list[TierEstimate]] = field(default_factory=dict)
     fine_series: dict[str, FineSeries] = field(default_factory=dict)
+    # Resilience accounting (zero / None on fault-free runs): requests
+    # failed by crashes, physical retries issued by impatient clients,
+    # and the per-episode recovery analysis.
+    failed: int = 0
+    retried: int = 0
+    resilience: ResilienceSummary | None = None
     schema: int = SCHEMA_VERSION
 
     # ------------------------------------------------------------------
@@ -298,6 +325,9 @@ class RunArtifact:
                      s.completions)
                     for _, s in sorted(self.fine_series.items())
                 ],
+                self.failed,
+                self.retried,
+                self.resilience,
             )
         )
 

@@ -13,9 +13,10 @@ capacity — visible in the per-server estimates — while HAProxy's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ExperimentError
+from repro.faults.injector import apply_slowdown, remove_slowdown
 from repro.ntier.server import Server
 from repro.sim.engine import Simulator
 
@@ -32,7 +33,6 @@ class SlowNodeFault:
     slowdown: float
     active: bool = False
     ended: bool = False
-    _original_capacity: object = field(default=None, repr=False)
 
     @property
     def window(self) -> tuple[float, float]:
@@ -64,16 +64,17 @@ def inject_slow_node(
     )
 
     def _degrade() -> None:
-        fault._original_capacity = server.capacity
-        critical = server.capacity.critical_resource.name
-        units = server.capacity.resource(critical).units
-        server.set_capacity(
-            server.capacity.scaled_cores(critical, units / slowdown)
-        )
+        # Multiplicative, not capture/restore: dividing now and
+        # multiplying back later composes with overlapping episodes
+        # and with scale_up capacity swaps in any order. The old
+        # capture-the-original scheme restored a stale capacity object
+        # when episodes overlapped, leaving the server permanently
+        # degraded.
+        apply_slowdown(server, slowdown)
         fault.active = True
 
     def _restore() -> None:
-        server.set_capacity(fault._original_capacity)
+        remove_slowdown(server, slowdown)
         fault.active = False
         fault.ended = True
 

@@ -1,0 +1,134 @@
+"""The resilience scenario suite: every controller under every fault.
+
+Closes the loop on fault injection the same way ``figures``/``table1``
+close it on the paper's evaluation: a declarative grid of
+:class:`RunSpec`\\ s — all four frameworks crossed with each fault
+class on a bursty trace, plus the fault-free baselines — and a tabular
+per-run summary (failed/retried counts, time-to-recover after each
+fault) computed from the artifacts' resilience summaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.artifact import FRAMEWORKS, RunSpec
+from repro.experiments.scenarios import ScenarioConfig
+from repro.faults.plan import (
+    ClientTimeoutSpec,
+    FaultPlan,
+    ProvisioningFaultSpec,
+    ServerCrashSpec,
+    SlowNodeSpec,
+    TelemetryDropoutSpec,
+)
+
+__all__ = [
+    "resilience_scenario",
+    "resilience_fault_plans",
+    "resilience_suite",
+    "resilience_rows",
+    "RESILIENCE_HEADERS",
+]
+
+
+def resilience_scenario(
+    load_scale: float = 50.0,
+    duration: float = 300.0,
+    seed: int = 3,
+    trace_name: str = "quickly_varying",
+) -> ScenarioConfig:
+    """The shared scenario of the suite.
+
+    Bursty trace (the paper's "quickly varying" shape keeps every
+    controller busy), and a (1, 2, 2) starting topology so the crash
+    faults always have a surviving replica to fail over to.
+    """
+    return ScenarioConfig(
+        name="resilience",
+        trace_name=trace_name,
+        load_scale=load_scale,
+        duration=duration,
+        seed=seed,
+        topology=(1, 2, 2),
+    )
+
+
+def resilience_fault_plans(duration: float = 300.0) -> dict[str, FaultPlan | None]:
+    """One plan per fault class (plus the fault-free baseline).
+
+    Fault windows sit at ~40 % of the run so there is a pre-fault
+    baseline for the recovery analysis and room to recover before the
+    trace ends.
+    """
+    at = round(0.4 * duration)
+    window = min(60.0, 0.2 * duration)
+    return {
+        "none": None,
+        "slow": FaultPlan((SlowNodeSpec("db", at, duration=window, slowdown=4.0),)),
+        "crash": FaultPlan((ServerCrashSpec("db", at),)),
+        "prov": FaultPlan(
+            (ProvisioningFaultSpec("*", at, duration=window, mode="fail"),)
+        ),
+        "dropout": FaultPlan((TelemetryDropoutSpec(at, window, tier="*"),)),
+        "timeout": FaultPlan(
+            (ClientTimeoutSpec(at, window, deadline=2.0, max_retries=2),)
+        ),
+    }
+
+
+def resilience_suite(
+    load_scale: float = 50.0,
+    duration: float = 300.0,
+    seed: int = 3,
+    frameworks: tuple[str, ...] = FRAMEWORKS,
+    trace_name: str = "quickly_varying",
+) -> list[RunSpec]:
+    """All requested frameworks crossed with every fault class.
+
+    Returns the grid in a stable order: frameworks outer, fault
+    classes inner ("none" first — the baseline each faulted run is
+    compared against).
+    """
+    config = resilience_scenario(load_scale, duration, seed, trace_name)
+    plans = resilience_fault_plans(duration)
+    return [
+        RunSpec(fw, config, faults=plan)
+        for fw in frameworks
+        for plan in plans.values()
+    ]
+
+
+RESILIENCE_HEADERS = [
+    "framework", "faults", "requests", "failed", "retried",
+    "p95_ms", "recover_s",
+]
+
+
+def _fmt_recovery(artifact) -> str:
+    summary = artifact.resilience
+    if summary is None or not summary.episodes:
+        return "-"
+    parts = []
+    for t in summary.recovery_s:
+        parts.append("never" if np.isnan(t) else f"{t:.0f}")
+    return ",".join(parts)
+
+
+def resilience_rows(artifacts: list) -> list[tuple]:
+    """Report rows (matching :data:`RESILIENCE_HEADERS`) per artifact."""
+    rows = []
+    for artifact in artifacts:
+        plan = artifact.spec.faults
+        rows.append(
+            (
+                artifact.framework,
+                plan.describe() if plan is not None else "none",
+                artifact.completed,
+                artifact.failed,
+                artifact.retried,
+                round(artifact.tail().p95 * 1000, 1),
+                _fmt_recovery(artifact),
+            )
+        )
+    return rows

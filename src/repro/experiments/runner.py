@@ -29,6 +29,8 @@ from repro.experiments.artifact import (
 )
 from repro.experiments.calibration import app_capacity, db_capacity_cpu
 from repro.experiments.scenarios import ScenarioConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.summary import ResilienceSummary, build_resilience_summary
 from repro.cloud.hypervisor import Hypervisor
 from repro.control.bus import ControlBus
 from repro.control.trace import DecisionTrace
@@ -100,6 +102,7 @@ def run_experiment(
     dcm_profile: DcmTrainedProfile | None = None,
     policy_overrides: dict[str, TierPolicyConfig] | None = None,
     conscale_headroom: float | None = None,
+    faults=None,
 ) -> RunArtifact:
     """Run one scenario under one scaling framework."""
     overrides = RunOverrides(
@@ -111,7 +114,7 @@ def run_experiment(
         dcm_profile=dcm_profile,
         conscale_headroom=conscale_headroom,
     )
-    return execute_spec(RunSpec(framework, config, overrides))
+    return execute_spec(RunSpec(framework, config, overrides, faults))
 
 
 def execute_spec(spec: RunSpec) -> RunArtifact:
@@ -203,6 +206,14 @@ def execute_spec(spec: RunSpec) -> RunArtifact:
             sim, warehouse, actuator, estimator, tier_configs, **conscale_kwargs
         )
 
+    # --- fault injection --------------------------------------------------
+    injector: FaultInjector | None = None
+    if spec.faults is not None:
+        injector = FaultInjector(
+            sim, app, actuator, hypervisor, warehouse, generator, bus
+        )
+        injector.schedule(spec.faults)
+
     # --- result sampling --------------------------------------------------
     log = RequestLog()
     app.on_complete(log.record)
@@ -251,9 +262,23 @@ def execute_spec(spec: RunSpec) -> RunArtifact:
     if estimator is not None:
         estimates = {APP: estimator.history(APP), DB: estimator.history(DB)}
 
+    latencies = log.response_times / config.rt_scale
+    resilience: ResilienceSummary | None = None
+    if injector is not None:
+        resilience = build_resilience_summary(
+            injector.episodes,
+            failed=app.failed,
+            retried=generator.retried,
+            timeouts=generator.timeouts,
+            abandoned=generator.abandoned,
+            latencies=latencies,
+            completion_times=log.completion_times,
+            horizon=config.duration + DRAIN_GRACE,
+        )
+
     return RunArtifact(
         spec=spec,
-        latencies=log.response_times / config.rt_scale,
+        latencies=latencies,
         completion_times=log.completion_times,
         arrival_times=log.arrival_times,
         interactions=np.array(log.interactions, dtype=str),
@@ -266,4 +291,7 @@ def execute_spec(spec: RunSpec) -> RunArtifact:
         cpu_series=cpu_series,
         estimates=estimates,
         fine_series=fine_series,
+        failed=app.failed,
+        retried=generator.retried,
+        resilience=resilience,
     )

@@ -1,0 +1,47 @@
+"""Declarative fault injection with resilience accounting.
+
+``repro.faults`` turns "what goes wrong, when" into data: a frozen
+:class:`FaultPlan` of typed specs that rides the
+:class:`~repro.experiments.artifact.RunSpec` (cache-addressed,
+diffable, byte-reproducible), a :class:`FaultInjector` that executes
+the plan against a live simulation while publishing every transition
+on the control bus, and a :class:`ResilienceSummary` folding the
+damage (failed/retried/timed-out requests, per-episode recovery
+times) into the run artifact.
+"""
+
+from repro.faults.injector import FaultInjector, apply_slowdown, remove_slowdown
+from repro.faults.plan import (
+    ClientTimeoutSpec,
+    FaultPlan,
+    FaultSpec,
+    ProvisioningFaultSpec,
+    ServerCrashSpec,
+    SlowNodeSpec,
+    TelemetryDropoutSpec,
+    parse_fault,
+    parse_faults,
+)
+from repro.faults.summary import (
+    FaultEpisode,
+    ResilienceSummary,
+    build_resilience_summary,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "SlowNodeSpec",
+    "ServerCrashSpec",
+    "ProvisioningFaultSpec",
+    "TelemetryDropoutSpec",
+    "ClientTimeoutSpec",
+    "parse_fault",
+    "parse_faults",
+    "FaultInjector",
+    "apply_slowdown",
+    "remove_slowdown",
+    "FaultEpisode",
+    "ResilienceSummary",
+    "build_resilience_summary",
+]

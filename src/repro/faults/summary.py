@@ -1,0 +1,129 @@
+"""Per-run resilience accounting.
+
+Every fault activation the injector performs is recorded as a
+:class:`FaultEpisode`; after the run the engine folds them together
+with the request-conservation counters into a
+:class:`ResilienceSummary` stored on the artifact — failed/retried
+counts and, per episode, the time the system took to return to its
+pre-fault tail latency (p95 within 10 % of the pre-fault baseline).
+Both types are plain frozen dataclasses so they flow through
+``canonical()``/``content_digest`` and artifact signatures unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FaultEpisode", "ResilienceSummary", "build_resilience_summary"]
+
+#: Recovery means: windowed p95 within this factor of the pre-fault one.
+RECOVERY_FACTOR = 1.1
+#: Length of the pre-fault baseline and of each post-fault probe window.
+BASELINE_WINDOW = 30.0
+PROBE_WINDOW = 10.0
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEpisode:
+    """One fault activation as it actually happened in the run."""
+
+    kind: str
+    tier: str
+    detail: str
+    start: float
+    end: float
+    failed: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ResilienceSummary:
+    """Resilience accounting for one run (artifact field).
+
+    ``recovery_s`` aligns with ``episodes``: seconds after each
+    episode's end until the windowed p95 latency re-entered
+    ``RECOVERY_FACTOR`` times the pre-fault baseline, or NaN when not
+    computable (no pre-fault completions, or never recovered within
+    the run).
+    """
+
+    failed: int = 0
+    retried: int = 0
+    timeouts: int = 0
+    abandoned: int = 0
+    episodes: tuple[FaultEpisode, ...] = ()
+    recovery_s: tuple[float, ...] = ()
+
+    @property
+    def recovery_p95(self) -> float:
+        """p95 of the computable per-episode recovery times (NaN if none)."""
+        times = [t for t in self.recovery_s if not np.isnan(t)]
+        if not times:
+            return float("nan")
+        return float(np.percentile(times, 95))
+
+
+def _window_p95(
+    latencies: np.ndarray, completions: np.ndarray, t0: float, t1: float
+) -> float:
+    mask = (completions >= t0) & (completions < t1)
+    if not mask.any():
+        return float("nan")
+    return float(np.percentile(latencies[mask], 95))
+
+
+def _recovery_time(
+    latencies: np.ndarray,
+    completions: np.ndarray,
+    episode: FaultEpisode,
+    horizon: float,
+) -> float:
+    baseline = _window_p95(
+        latencies, completions, episode.start - BASELINE_WINDOW, episode.start
+    )
+    if np.isnan(baseline) or baseline <= 0:
+        return float("nan")
+    target = RECOVERY_FACTOR * baseline
+    # Slide a probe window forward in half-window steps until the tail
+    # is back under target. Integer stepping keeps this bit-exact.
+    step = PROBE_WINDOW / 2.0
+    n_steps = int(max(0.0, horizon - episode.end) / step) + 1
+    for k in range(n_steps):
+        t1 = episode.end + PROBE_WINDOW + k * step
+        if t1 > horizon + 1e-9:
+            break
+        p95 = _window_p95(latencies, completions, t1 - PROBE_WINDOW, t1)
+        if not np.isnan(p95) and p95 <= target:
+            return max(0.0, t1 - episode.end)
+    return float("nan")
+
+
+def build_resilience_summary(
+    episodes: list[FaultEpisode],
+    *,
+    failed: int,
+    retried: int,
+    timeouts: int,
+    abandoned: int,
+    latencies: np.ndarray,
+    completion_times: np.ndarray,
+    horizon: float,
+) -> ResilienceSummary:
+    """Fold injector episodes + run counters into the artifact summary.
+
+    ``horizon`` is the last instant completions were recorded
+    (scenario duration plus drain grace).
+    """
+    recovery = tuple(
+        _recovery_time(latencies, completion_times, ep, horizon)
+        for ep in episodes
+    )
+    return ResilienceSummary(
+        failed=int(failed),
+        retried=int(retried),
+        timeouts=int(timeouts),
+        abandoned=int(abandoned),
+        episodes=tuple(episodes),
+        recovery_s=recovery,
+    )

@@ -70,17 +70,38 @@ class IntervalMonitor:
         self._prev_latency = server.latency_total
         self._prev_util = dict(server.util_integral)
         self._prev_t = sim.now
+        self._suspended = False
         self._process = PeriodicProcess(sim, self.interval, self._tick)
 
     def stop(self) -> None:
         """Stop sampling (existing samples remain readable)."""
         self._process.stop()
 
+    def suspend(self) -> None:
+        """Telemetry dropout: keep ticking but record nothing.
+
+        The differencing state stays fresh so no burst of bogus samples
+        appears on :meth:`resume` — the window simply has a hole, which
+        downstream staleness checks must notice.
+        """
+        self._suspended = True
+
+    def resume(self) -> None:
+        """End a telemetry dropout; sampling restarts from now."""
+        self._suspended = False
+
+    @property
+    def suspended(self) -> bool:
+        return self._suspended
+
     def _tick(self, now: float) -> None:
         server = self.server
         server.sync_monitors()
         dt = now - self._prev_t
         if dt <= 0:
+            return
+        if self._suspended:
+            self._roll_forward(now)
             return
         d_conc = server.concurrency_integral - self._prev_conc
         d_comp = server.completions - self._prev_completions
@@ -98,6 +119,10 @@ class IntervalMonitor:
             utilization=util,
         )
         self.samples.append(sample)
+        self._roll_forward(now)
+
+    def _roll_forward(self, now: float) -> None:
+        server = self.server
         self._prev_conc = server.concurrency_integral
         self._prev_completions = server.completions
         self._prev_latency = server.latency_total

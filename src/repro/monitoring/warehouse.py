@@ -76,6 +76,9 @@ class MetricWarehouse:
         self._history: deque[VmSample] = deque()
         self._history_seconds = float(history_seconds)
         self._fine_history = fine_history
+        # Tiers currently in a telemetry blackout ("*" = every tier).
+        self._blackout: set[str] = set()
+        self._last_sample_t: dict[str, float] = {}  # tier -> newest t_end
         self._process = PeriodicProcess(sim, self.tick, self._collect)
 
     # ------------------------------------------------------------------
@@ -88,6 +91,8 @@ class MetricWarehouse:
         fine = IntervalMonitor(
             self.sim, server, self.fine_interval, history=self._fine_history
         )
+        if self._in_blackout(server.tier):
+            fine.suspend()
         self._states[server.name] = _VmState(server, fine, self.sim.now)
 
     def deregister_server(self, name: str) -> None:
@@ -133,6 +138,45 @@ class MetricWarehouse:
         return removed
 
     # ------------------------------------------------------------------
+    # telemetry blackout (fault injection)
+    # ------------------------------------------------------------------
+    def _in_blackout(self, tier: str) -> bool:
+        return "*" in self._blackout or tier in self._blackout
+
+    def begin_blackout(self, tier: str = "*") -> None:
+        """Start a telemetry dropout for a tier (``"*"`` = all tiers).
+
+        Both the 1 s VM samples and the 50 ms fine monitors of affected
+        servers stop recording; differencing state keeps rolling so no
+        bogus catch-up samples appear when the blackout ends. Downstream
+        consumers must treat the resulting hole as staleness, not as
+        zero load.
+        """
+        self._blackout.add(tier)
+        for state in self._states.values():
+            if self._in_blackout(state.server.tier):
+                state.fine.suspend()
+
+    def end_blackout(self, tier: str = "*") -> None:
+        """End a telemetry dropout; collection resumes on the next tick."""
+        self._blackout.discard(tier)
+        for state in self._states.values():
+            if not self._in_blackout(state.server.tier):
+                state.fine.resume()
+
+    def telemetry_age(self, tier: str) -> float:
+        """Seconds since the newest 1 s sample of a tier (inf if none).
+
+        The staleness signal controllers consult before trusting
+        windowed aggregates: during a blackout :meth:`tier_cpu` would
+        otherwise quietly decay to 0.0 and read as an idle tier.
+        """
+        last = self._last_sample_t.get(tier)
+        if last is None:
+            return float("inf")
+        return self.sim.now - last
+
+    # ------------------------------------------------------------------
     # collection
     # ------------------------------------------------------------------
     def _collect(self, now: float) -> None:
@@ -142,6 +186,13 @@ class MetricWarehouse:
             server.sync_monitors()
             dt = now - state.prev_t
             if dt <= 0:
+                continue
+            if self._in_blackout(server.tier):
+                # Roll the differencing state forward without recording.
+                state.prev_util = dict(server.util_integral)
+                state.prev_conc = server.concurrency_integral
+                state.prev_comp = server.completions
+                state.prev_t = now
                 continue
             cpu_name = server.capacity.resources[0].name
             cpu = (server.util_integral[cpu_name] - state.prev_util[cpu_name]) / dt
@@ -168,6 +219,7 @@ class MetricWarehouse:
             state.prev_conc = server.concurrency_integral
             state.prev_comp = server.completions
             state.prev_t = now
+            self._last_sample_t[server.tier] = now
         cutoff = now - self._history_seconds
         while self._history and self._history[0].t_end < cutoff:
             self._history.popleft()

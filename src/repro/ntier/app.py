@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.ntier.cache import CACHE, CachePolicy
 from repro.ntier.pools import FifoPool
 from repro.ntier.request import Request
@@ -98,8 +98,10 @@ class NTierApplication:
         # set AND at least one cache server is attached.
         self.cache_policy = cache_policy
         self._on_complete: list[Callable[[Request], None]] = []
+        self._on_fail: list[Callable[[Request], None]] = []
         self.submitted = 0
         self.completed = 0
+        self.failed = 0
 
     # ------------------------------------------------------------------
     # topology management
@@ -126,8 +128,8 @@ class NTierApplication:
 
     @property
     def in_flight(self) -> int:
-        """Requests submitted but not yet completed."""
-        return self.submitted - self.completed
+        """Requests submitted but neither completed nor failed."""
+        return self.submitted - self.completed - self.failed
 
     def admission_pressure(self, tier: str) -> tuple[int, int]:
         """``(queued, capacity)`` at a tier's admission points.
@@ -156,6 +158,58 @@ class NTierApplication:
         """Register a completion listener (monitoring, closed-loop users)."""
         self._on_complete.append(listener)
 
+    def on_fail(self, listener: Callable[[Request], None]) -> None:
+        """Register a failure listener (client retry logic, monitoring)."""
+        self._on_fail.append(listener)
+
+    # ------------------------------------------------------------------
+    # failure flow (server crashes)
+    # ------------------------------------------------------------------
+    def fail_request(self, request: Request, reason: str = "fault") -> None:
+        """Abort an in-flight request, unwinding every resource it holds.
+
+        Worker threads at every tier it occupies are returned (without
+        counting completions there), a held or awaited DB connection
+        permit is released or cancelled, and the request leaves the
+        system as *failed*: its ``completion`` stays None and the
+        failure listeners fire instead of the completion ones.
+        """
+        if request.done or request.failed:
+            return
+        request.failed = True
+        pool = request._conn_pool
+        if pool is not None:
+            request._conn_pool = None
+            if not pool.cancel(request):
+                pool.release()
+        for server in list(request._servers.values()):
+            if not server.abort(request):
+                server.threads.cancel(request)
+        request._servers.clear()
+        self.failed += 1
+        for listener in self._on_fail:
+            listener(request)
+
+    def crash_server(self, server: Server, reason: str = "crash") -> list[Request]:
+        """Fail everything a crashed server holds; returns the victims.
+
+        The caller must already have removed the server from its tier
+        (no new requests may route here while we unwind). Queued
+        requests are failed before admitted ones so thread releases
+        cannot re-admit them into the dying server; conn-pool waiters of
+        *other* servers woken by released permits re-route to surviving
+        replicas as in a real failover.
+        """
+        victims = server.threads.waiting_tokens() + server.occupants()
+        for request in victims:
+            self.fail_request(request, reason)
+        if not server.is_idle:  # pragma: no cover - bookkeeping invariant
+            raise SimulationError(
+                f"{server.name}: not idle after crash unwinding "
+                f"(admitted={server.admitted}, queued={server.threads.queued})"
+            )
+        return victims
+
     # ------------------------------------------------------------------
     # request flow (one callback per hop)
     # ------------------------------------------------------------------
@@ -167,15 +221,21 @@ class NTierApplication:
         web.admit(request, self._web_admitted)
 
     def _web_admitted(self, request: Request) -> None:
+        if request.failed:
+            return
         web = request._servers[WEB]
         web.work(request, request.demand_at(WEB), self._web_work_done)
 
     def _web_work_done(self, request: Request) -> None:
+        if request.failed:
+            return
         app = self.tiers[APP].route()
         request._servers[APP] = app
         app.admit(request, self._app_admitted)
 
     def _app_admitted(self, request: Request) -> None:
+        if request.failed:
+            return
         app = request._servers[APP]
         app.work(
             request,
@@ -189,6 +249,8 @@ class NTierApplication:
         return self.cache_policy is not None and self.tiers[CACHE].size > 0
 
     def _app_pre_done(self, request: Request) -> None:
+        if request.failed:
+            return
         if self.cache_active and self.cache_policy.is_hit(request.interaction):
             cache = self.tiers[CACHE].route()
             request._servers[CACHE] = cache
@@ -200,11 +262,15 @@ class NTierApplication:
         pool.acquire(request, self._conn_granted)
 
     def _cache_admitted(self, request: Request) -> None:
+        if request.failed:
+            return
         cache = request._servers[CACHE]
         demand = self.cache_policy.lookup_demand(request.demand_at(DB))
         cache.work(request, demand, self._cache_done)
 
     def _cache_done(self, request: Request) -> None:
+        if request.failed:
+            return
         request._servers[CACHE].release(request)
         app = request._servers[APP]
         app.work(
@@ -214,15 +280,26 @@ class NTierApplication:
         )
 
     def _conn_granted(self, request: Request) -> None:
+        if request.failed:  # pragma: no cover - defensive
+            # Granted a permit after failing: hand it straight back.
+            pool = request._conn_pool
+            request._conn_pool = None
+            if pool is not None:
+                pool.release()
+            return
         db = self.tiers[DB].route()
         request._servers[DB] = db
         db.admit(request, self._db_admitted)
 
     def _db_admitted(self, request: Request) -> None:
+        if request.failed:
+            return
         db = request._servers[DB]
         db.work(request, request.demand_at(DB), self._db_done)
 
     def _db_done(self, request: Request) -> None:
+        if request.failed:
+            return
         request._servers[DB].release(request)
         pool = request._conn_pool
         request._conn_pool = None
@@ -235,6 +312,8 @@ class NTierApplication:
         )
 
     def _app_post_done(self, request: Request) -> None:
+        if request.failed:
+            return
         request._servers[APP].release(request)
         request._servers[WEB].release(request)
         request.completion = self.sim.now

@@ -85,6 +85,10 @@ class FifoPool:
         self._in_use -= 1
         self._grant_waiters()
 
+    def waiting_tokens(self) -> list[Any]:
+        """Tokens currently queued, in FIFO order (fault unwinding)."""
+        return [tok for tok, _cb in self._waiters]
+
     def cancel(self, token: Any) -> bool:
         """Remove a queued token (e.g. a timed-out request).
 

@@ -49,6 +49,7 @@ class Request:
     arrival: float
     demands: dict[str, float]
     completion: float | None = None
+    failed: bool = False
     visits: list[ServerVisit] = field(default_factory=list)
 
     # Transient routing state, owned by the application flow.

@@ -97,6 +97,7 @@ class Server:
         self._rate_per_job = 0.0
         self._completion_event: EventHandle | None = None
         self._visits: dict[int, ServerVisit] = {}
+        self._requests: dict[int, Request] = {}
 
         # --- monotone monitoring accumulators --------------------------
         self.concurrency_integral = 0.0  # ∫ admitted dt
@@ -163,6 +164,7 @@ class Server:
         self._admitted += 1
         self.arrivals += 1
         self._visits[request.req_id] = request.open_visit(self.name, self.sim.now)
+        self._requests[request.req_id] = request
         self._reschedule()
         on_admitted(request)
 
@@ -206,11 +208,41 @@ class Server:
             )
         self._advance_clock()
         self._admitted -= 1
+        self._requests.pop(request.req_id, None)
         visit.departure = self.sim.now
         self.completions += 1
         self.latency_total += visit.latency
         self.threads.release()
         self._reschedule()
+
+    def abort(self, request: Request) -> bool:
+        """Forcibly evict an admitted request (server crash unwinding).
+
+        The worker thread is returned and the visit closed *without*
+        counting a completion or latency sample — the request never
+        finished here. Any live PS job is deactivated in place (its heap
+        entry is dropped lazily). Returns False when the request is not
+        admitted, so callers can fall back to a queue cancel.
+        """
+        visit = self._visits.pop(request.req_id, None)
+        if visit is None:
+            return False
+        self._advance_clock()
+        for job in self._heap:
+            if job.request is request and not job.done:
+                job.done = True
+                self._active -= 1
+                break
+        self._admitted -= 1
+        self._requests.pop(request.req_id, None)
+        visit.departure = self.sim.now
+        self.threads.release()
+        self._reschedule()
+        return True
+
+    def occupants(self) -> list[Request]:
+        """Requests currently admitted, in admission order."""
+        return list(self._requests.values())
 
     # ------------------------------------------------------------------
     # PS mechanics

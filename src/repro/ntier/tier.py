@@ -79,6 +79,24 @@ class Tier:
         self._notify("drain")
         return server
 
+    def eject(self, server: Server) -> None:
+        """Remove a dead server immediately, live or draining.
+
+        Unlike :meth:`begin_drain`/:meth:`collect_drained` this is the
+        *crash* path: no idleness requirement, no grace — the balancer
+        simply stops seeing the replica. Callers are responsible for
+        failing whatever the server still held.
+        """
+        if server in self._servers:
+            self._servers.remove(server)
+        elif server in self._draining:
+            self._draining.remove(server)
+        else:
+            raise ScalingError(
+                f"server {server.name!r} is not part of tier {self.name!r}"
+            )
+        self._notify("eject")
+
     def collect_drained(self) -> list[Server]:
         """Retire and return every draining server that has gone idle."""
         done = [s for s in self._draining if s.is_idle]

@@ -24,16 +24,23 @@ from repro.cloud.vm import VM
 from repro.control.bus import ControlBus
 from repro.control.events import DecisionEvent
 from repro.control.trace import DecisionTrace
-from repro.errors import ScalingError
+from repro.errors import FaultError, ScalingError
 from repro.monitoring.warehouse import MetricWarehouse
 from repro.ntier.app import APP, WEB, NTierApplication
+from repro.ntier.request import Request
 from repro.ntier.server import Server
 from repro.scaling.factory import ServerFactory
 from repro.sim.engine import Simulator
+from repro.sim.event import EventHandle
 
 __all__ = ["Actuator"]
 
 _DRAIN_POLL = 0.5
+# Exponential backoff for failed provisioning: base * 2^(attempt-1),
+# capped, so a provisioning-fault window is survived without either
+# wedging ``action_in_flight`` or hammering the hypervisor.
+_RETRY_BASE = 2.0
+_RETRY_CAP = 30.0
 
 
 class Actuator:
@@ -62,6 +69,9 @@ class Actuator:
         self._vm_by_server: dict[str, VM] = {}
         self._db_connections = app.soft.db_connections
         self._draining: dict[str, int] = {}  # tier -> count
+        self._drain_polls: dict[str, EventHandle] = {}  # server -> poll
+        self._pending_retries: dict[str, int] = {}  # tier -> scheduled retries
+        self._retry_attempts: dict[str, int] = {}  # tier -> consecutive failures
         self._bootstrap_vms: set[str] = set()
         self._on_hardware_change: list[Callable[[str, str], None]] = []
 
@@ -104,15 +114,47 @@ class Actuator:
         the initial topology apart from runtime scaling events.
         """
         for _ in range(count):
-            vm = self.hypervisor.launch(tier, self._vm_ready, prep_period=0.0)
+            vm = self.hypervisor.launch(
+                tier, self._vm_ready, prep_period=0.0, on_failed=self._vm_failed
+            )
             self._bootstrap_vms.add(vm.name)
 
     def scale_out(self, tier: str, reason: str = "") -> None:
         """Launch one more VM for a tier (takes the prep period)."""
-        vm = self.hypervisor.launch(tier, self._vm_ready)
+        vm = self.hypervisor.launch(tier, self._vm_ready, on_failed=self._vm_failed)
         self._emit("scale_out_started", tier, detail=vm.name, reason=reason)
 
+    def _vm_failed(self, vm: VM) -> None:
+        """A launch died while provisioning: retry with backoff.
+
+        Without this path a provisioning fault would leave the tier
+        under-provisioned forever once the threshold policy's trip has
+        been consumed — the retry keeps the intent alive, and the
+        growing delay keeps a long fault window from turning into a
+        launch storm.
+        """
+        tier = vm.tier
+        attempt = self._retry_attempts.get(tier, 0) + 1
+        self._retry_attempts[tier] = attempt
+        backoff = min(_RETRY_CAP, _RETRY_BASE * (2.0 ** (attempt - 1)))
+        self._pending_retries[tier] = self._pending_retries.get(tier, 0) + 1
+        self._emit(
+            "scale_out_failed", tier, value=attempt, detail=vm.name,
+            reason=f"provisioning failed; retry {attempt} in {backoff:.1f}s",
+        )
+        self.sim.schedule_after(backoff, self._retry_scale_out, tier)
+
+    def _retry_scale_out(self, tier: str) -> None:
+        self._pending_retries[tier] = self._pending_retries.get(tier, 1) - 1
+        vm = self.hypervisor.launch(tier, self._vm_ready, on_failed=self._vm_failed)
+        self._emit(
+            "scale_out_retry", tier,
+            value=self._retry_attempts.get(tier, 0), detail=vm.name,
+            reason="relaunch after provisioning failure",
+        )
+
     def _vm_ready(self, vm: VM) -> None:
+        self._retry_attempts.pop(vm.tier, None)
         server = self.factory.create(vm.tier)
         vm.server_name = server.name
         self._vm_by_server[server.name] = vm
@@ -186,16 +228,32 @@ class Actuator:
         server = tier_obj.begin_drain()
         vm = self._vm_by_server.get(server.name)
         if vm is None:
-            raise ScalingError(f"no VM recorded for server {server.name!r}")
+            raise FaultError(
+                f"asked to drain {server.name!r} but no VM is recorded for "
+                "it — the server no longer exists in the cloud substrate"
+            )
         self.hypervisor.mark_draining(vm)
         self._draining[tier] = self._draining.get(tier, 0) + 1
         self._emit("scale_in_started", tier, detail=server.name, reason=reason)
-        self.sim.schedule_after(_DRAIN_POLL, self._check_drained, tier, server, vm)
+        self._drain_polls[server.name] = self.sim.schedule_after(
+            _DRAIN_POLL, self._check_drained, tier, server, vm
+        )
 
     def _check_drained(self, tier: str, server: Server, vm: VM) -> None:
+        if server.name not in self._vm_by_server:
+            # A crash cancels the drain poll, so reaching this state
+            # means the server vanished behind the actuator's back.
+            self._drain_polls.pop(server.name, None)
+            raise FaultError(
+                f"drain poll for {server.name!r} but the server no longer "
+                "exists — it was removed without the actuator noticing"
+            )
         if not server.is_idle:
-            self.sim.schedule_after(_DRAIN_POLL, self._check_drained, tier, server, vm)
+            self._drain_polls[server.name] = self.sim.schedule_after(
+                _DRAIN_POLL, self._check_drained, tier, server, vm
+            )
             return
+        self._drain_polls.pop(server.name, None)
         self.app.tiers[tier].collect_drained()
         self.warehouse.deregister_server(server.name)
         if tier == APP:
@@ -206,6 +264,60 @@ class Actuator:
         self._emit("scale_in_done", tier, detail=server.name,
                    reason="drain complete")
         self._notify(tier, "scale_in_done")
+
+    # ------------------------------------------------------------------
+    # crash handling (fault injection)
+    # ------------------------------------------------------------------
+    def crash_server(self, server_name: str) -> list[Request]:
+        """Kill a server abruptly: eject, fail its requests, stop the VM.
+
+        The balancer stops seeing the replica first, then every request
+        it held is failed and unwound, monitoring is detached, and the
+        VM goes straight to STOPPED (no drain). A crash on a draining
+        server cancels its drain poll; crashing the last live replica
+        of a tier is refused (the tier would be unroutable).
+        Returns the failed requests.
+        """
+        server = tier_name = tier_obj = None
+        was_draining = False
+        for name, t in self.app.tiers.items():
+            for s in t.servers:
+                if s.name == server_name:
+                    server, tier_name, tier_obj = s, name, t
+            for s in t.draining:
+                if s.name == server_name:
+                    server, tier_name, tier_obj = s, name, t
+                    was_draining = True
+        if server is None:
+            raise FaultError(
+                f"cannot crash {server_name!r}: no such live or draining server"
+            )
+        if not was_draining and tier_obj.size == 1:
+            raise FaultError(
+                f"cannot crash {server_name!r}: it is the last live "
+                f"{tier_name} replica and the tier would be unroutable"
+            )
+        vm = self._vm_by_server.get(server_name)
+        if vm is None:
+            raise FaultError(f"cannot crash {server_name!r}: no VM recorded")
+        tier_obj.eject(server)
+        if was_draining:
+            handle = self._drain_polls.pop(server_name, None)
+            if handle is not None:
+                handle.cancel()
+            self._draining[tier_name] = self._draining.get(tier_name, 1) - 1
+        victims = self.app.crash_server(server)
+        self.warehouse.deregister_server(server_name)
+        if tier_name == APP:
+            self.app.detach_conn_pool(server_name)
+        del self._vm_by_server[server_name]
+        self.hypervisor.stop(vm)
+        self._emit(
+            "server_ejected", tier_name, value=len(victims), detail=server_name,
+            reason=f"crash: {len(victims)} in-flight request(s) failed",
+        )
+        self._notify(tier_name, "server_ejected")
+        return victims
 
     # ------------------------------------------------------------------
     # soft-resource reallocation
@@ -299,9 +411,11 @@ class Actuator:
         return self._db_connections
 
     def action_in_flight(self, tier: str) -> bool:
-        """True while a scale-out is provisioning or a scale-in draining."""
+        """True while a scale-out is provisioning (or awaiting a retry
+        after a provisioning failure) or a scale-in is draining."""
         return (
             self.hypervisor.provisioning_count(tier) > 0
+            or self._pending_retries.get(tier, 0) > 0
             or self._draining.get(tier, 0) > 0
         )
 

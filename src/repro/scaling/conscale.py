@@ -18,6 +18,7 @@ each MySQL should run at ``Q*`` and there are ``n_db`` MySQL and
 
 from __future__ import annotations
 
+from repro.control.events import STALE_HOLD
 from repro.monitoring.warehouse import MetricWarehouse
 from repro.ntier.app import APP, DB
 from repro.scaling.actuator import Actuator
@@ -91,9 +92,29 @@ class ConScaleController(BaseController):
         self._adapt_app(force)
         self._adapt_db(force)
 
+    def _hold_if_stale(self, tier: str, est: TierEstimate | None) -> bool:
+        """Graceful degradation under telemetry dropout.
+
+        A stale estimate describes a past operating point; actuating on
+        it (or exploring/relaxing while blind) is acting on garbage.
+        Emit an auditable hold and keep the last-known-good caps until
+        fresh samples arrive.
+        """
+        if est is None or not est.stale:
+            return False
+        age = self.warehouse.telemetry_age(tier)
+        age_str = "never sampled" if age == float("inf") else f"{age:.1f}s old"
+        self.emit(
+            STALE_HOLD, tier,
+            reason=f"telemetry stale ({age_str}); holding last-known-good caps",
+        )
+        return True
+
     def _adapt_app(self, force: bool) -> None:
         est = self.estimator.estimate_tier(APP)
         current = self.actuator.factory.thread_limit(APP)
+        if self._hold_if_stale(APP, est):
+            return
         if self.per_server_app and est is not None and self._adapt_app_per_server(
             est, force
         ):
@@ -129,6 +150,8 @@ class ConScaleController(BaseController):
     def _adapt_db(self, force: bool) -> None:
         est = self.estimator.estimate_tier(DB)
         current = self.actuator.db_connections
+        if self._hold_if_stale(DB, est):
+            return
         if self._usable(est):
             n_db = self.actuator.app.tiers[DB].size
             n_app = max(1, self.actuator.app.tiers[APP].size)
@@ -242,6 +265,13 @@ class ConScaleController(BaseController):
         operator-chosen safe upper bound.
         """
         if current >= static_default:
+            return current
+        age = self.warehouse.telemetry_age(tier)
+        stale_after = getattr(self.estimator, "stale_after", 5.0)
+        if age != float("inf") and age > stale_after:
+            # Telemetry dropout: the cool-CPU reading below would be
+            # computed over a window with no fresh samples (or decay to
+            # 0.0 outright) — never widen a cap while blind.
             return current
         if self.warehouse.tier_cpu(tier, window=10.0) >= 0.5:
             return current

@@ -36,12 +36,18 @@ class TierEstimate:
     # observable) optimum and should be explored upward.
     plateau_hot: bool
     per_server: dict[str, SCTEstimate]
+    # True when the newest fine sample backing this estimate is older
+    # than the estimator's staleness horizon — the telemetry feed has a
+    # hole (dropout fault, dead agent) and the numbers describe a past
+    # operating point, not the current one.
+    stale: bool = False
 
     @property
     def actionable(self) -> bool:
         """Safe to actuate: the plateau was observed AND it is this
-        tier's own hardware limit (not downstream congestion)."""
-        return self.saturation_observed and self.hardware_limited
+        tier's own hardware limit (not downstream congestion) AND the
+        backing telemetry is fresh."""
+        return self.saturation_observed and self.hardware_limited and not self.stale
 
     @property
     def n_servers(self) -> int:
@@ -59,12 +65,19 @@ class OptimalConcurrencyEstimator:
         window: float = 60.0,
         drift_check: bool = False,
         drift_min_samples: int = 60,
+        stale_after: float = 5.0,
     ) -> None:
         if window <= 0:
             raise EstimationError(f"window must be > 0, got {window!r}")
+        if stale_after <= 0:
+            raise EstimationError(f"stale_after must be > 0, got {stale_after!r}")
         self.warehouse = warehouse
         self.model = model or SCTModel()
         self.window = float(window)
+        # Estimates whose newest backing sample is older than this are
+        # flagged stale (telemetry dropout): controllers must hold their
+        # last-known-good caps rather than actuate on them.
+        self.stale_after = float(stale_after)
         # Optional stationarity guard: before estimating, compare the
         # two halves of each server's window (repro.sct.drift); when
         # the capacity curve shifted mid-window, the pre-shift half is
@@ -106,6 +119,11 @@ class OptimalConcurrencyEstimator:
         basis = actionable or per_server
         optima = [e.optimal for e in basis.values()]
         uppers = [e.q_upper for e in basis.values()]
+        newest = max(
+            (samples[-1].t_end for samples in fine.values() if samples),
+            default=float("-inf"),
+        )
+        stale = (self.warehouse.sim.now - newest) > self.stale_after
         estimate = TierEstimate(
             tier=tier,
             time=self.warehouse.sim.now,
@@ -116,6 +134,7 @@ class OptimalConcurrencyEstimator:
             hardware_limited=bool(actionable),
             plateau_hot=any(e.hardware_limited for e in per_server.values()),
             per_server=per_server,
+            stale=stale,
         )
         self._history.setdefault(tier, []).append(estimate)
         return estimate

@@ -20,6 +20,13 @@ from repro.sim.engine import Simulator
 
 __all__ = ["TierPolicyConfig", "PolicyDecision", "ThresholdPolicy"]
 
+# Hardware decisions freeze when the newest warehouse sample of a tier
+# is older than this: a telemetry dropout makes the windowed CPU decay
+# toward 0.0, which would otherwise read as an idle tier and trigger
+# scale-in on garbage. The "never sampled yet" startup state (age inf)
+# keeps the pre-fault behaviour of treating missing data as 0.0 load.
+TELEMETRY_STALE_AFTER = 5.0
+
 
 @dataclass(frozen=True, slots=True)
 class PolicyDecision:
@@ -119,6 +126,16 @@ class ThresholdPolicy:
         cfg = self.configs[tier]
         now = self.sim.now
         size = self.actuator.app.tiers[tier].size
+        age = self.warehouse.telemetry_age(tier)
+        if age != float("inf") and age > TELEMETRY_STALE_AFTER:
+            # Telemetry dropout: hold, and restart the sustained-low
+            # clock so the blind stretch cannot count toward scale-in.
+            self._low_since[tier] = None
+            return PolicyDecision(
+                None,
+                f"telemetry stale ({age:.1f}s since last sample); holding",
+                0.0,
+            )
         cpu_fast = self.warehouse.tier_cpu(tier, cfg.out_window)
 
         # Track the sustained-low state on every tick regardless of

@@ -90,7 +90,19 @@ class OpenLoopGenerator:
         self.rng = rng
         self.think_time = think_time
         self.generated = 0
+        # Client-deadline state (the request-timeout fault class): while
+        # a deadline is set, every new arrival is watched; one that
+        # misses the deadline or fails (server crash) is re-issued as a
+        # fresh physical request up to ``max_retries`` times.
+        self.retried = 0
+        self.timeouts = 0
+        self.abandoned = 0
+        self._deadline: float | None = None
+        self._max_retries = 0
+        self._watch: dict[int, tuple[object, int, float]] = {}
         self._stopped = False
+        app.on_complete(self._on_request_complete)
+        app.on_fail(self._on_request_fail)
 
     def start(self) -> None:
         """Begin generating at the current simulation time."""
@@ -99,6 +111,36 @@ class OpenLoopGenerator:
     def stop(self) -> None:
         """Stop generating new arrivals (in-flight requests finish)."""
         self._stopped = True
+
+    # ------------------------------------------------------------------
+    # client deadline + capped retry (fault injection)
+    # ------------------------------------------------------------------
+    def set_client_timeout(self, deadline: float, max_retries: int = 2) -> None:
+        """Give subsequent arrivals a response deadline with retries.
+
+        A watched request that has not completed within ``deadline``
+        seconds counts as a timeout: the client abandons it (the
+        original keeps consuming server resources, as a real HTTP
+        request does after the socket closes) and re-issues a fresh
+        physical request whose ``arrival`` is backdated to the first
+        attempt — so recorded tail latencies account for the full
+        client-perceived wait across retries. Failed requests (server
+        crash) retry immediately. After ``max_retries`` the interaction
+        is abandoned for good.
+        """
+        if deadline <= 0:
+            raise ConfigurationError(f"deadline must be > 0, got {deadline!r}")
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries!r}"
+            )
+        self._deadline = float(deadline)
+        self._max_retries = int(max_retries)
+
+    def clear_client_timeout(self) -> None:
+        """Stop watching *new* arrivals (in-flight watches keep their
+        deadline — they were issued under it)."""
+        self._deadline = None
 
     def rate_at(self, t: float) -> float:
         """Arrival rate (requests/second) implied by the trace at ``t``."""
@@ -129,8 +171,54 @@ class OpenLoopGenerator:
             return
         req = self.factory.create(self.sim.now)
         self.generated += 1
-        self.app.submit(req)
+        self._submit_watched(req, attempt=0, first_arrival=req.arrival)
         self._schedule_next()
+
+    def _submit_watched(
+        self, req: Request, attempt: int, first_arrival: float
+    ) -> None:
+        if self._deadline is not None:
+            handle = self.sim.schedule_after(
+                self._deadline, self._deadline_expired, req.req_id
+            )
+            self._watch[req.req_id] = (handle, attempt, first_arrival)
+        self.app.submit(req)
+
+    def _retry(self, attempt: int, first_arrival: float) -> None:
+        req = self.factory.create(self.sim.now)
+        # Backdate so the recorded response time spans every attempt.
+        req.arrival = first_arrival
+        self.generated += 1
+        self.retried += 1
+        self._submit_watched(req, attempt, first_arrival)
+
+    def _deadline_expired(self, req_id: int) -> None:
+        entry = self._watch.pop(req_id, None)
+        if entry is None:
+            return  # completed or failed in the same instant
+        _handle, attempt, first_arrival = entry
+        self.timeouts += 1
+        if attempt < self._max_retries and not self._stopped:
+            self._retry(attempt + 1, first_arrival)
+        else:
+            self.abandoned += 1
+
+    def _on_request_complete(self, request: Request) -> None:
+        entry = self._watch.pop(request.req_id, None)
+        if entry is not None and entry[0] is not None:
+            entry[0].cancel()
+
+    def _on_request_fail(self, request: Request) -> None:
+        entry = self._watch.pop(request.req_id, None)
+        if entry is None:
+            return  # not watched: no timeout fault active at issue time
+        handle, attempt, first_arrival = entry
+        if handle is not None:
+            handle.cancel()
+        if attempt < self._max_retries and not self._stopped:
+            self._retry(attempt + 1, first_arrival)
+        else:
+            self.abandoned += 1
 
 
 class ClosedLoopGenerator:
@@ -177,6 +265,9 @@ class ClosedLoopGenerator:
         self._stopped = False
         self._pending: dict[int, object] = {}
         app.on_complete(self._on_complete)
+        # A request failed by a server crash frees its user exactly like
+        # a completion: the user sees an error page and re-issues.
+        app.on_fail(self._on_complete)
 
     def start(self, ramp: float = 0.0) -> None:
         """Launch all users, optionally staggered over ``ramp`` seconds."""

@@ -1,0 +1,186 @@
+"""Acceptance tests for fault injection riding the experiment engine.
+
+The ISSUE's acceptance criteria, end to end:
+
+* a faulted ``RunSpec`` is exactly as deterministic as a fault-free one
+  — same digest, identical artifact signature across repeated runs and
+  across the serial and process backends;
+* a crash run diffs against its fault-free twin (``repro diff`` works
+  because the fault plan rides the spec, not the scenario) and its
+  trace shows the ejection + recovery decisions;
+* a telemetry-dropout run never applies a soft cap justified by an SCT
+  estimate while the feed is stale (the controller holds, auditable via
+  STALE_HOLD / stale no-ops), and its tail stays within 10 % of the
+  fault-free twin's p95.
+
+Runs use the reduced scale of ``test_engine`` (load_scale 300, 60 s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.artifact import RunSpec, content_digest
+from repro.experiments.diff import diff_artifacts
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.resilience import (
+    RESILIENCE_HEADERS,
+    resilience_fault_plans,
+    resilience_rows,
+    resilience_scenario,
+    resilience_suite,
+)
+from repro.experiments.runner import execute_spec
+
+
+def small_resilience_config():
+    return resilience_scenario(
+        load_scale=300.0, duration=60.0, seed=2, trace_name="dual_phase"
+    )
+
+
+@pytest.fixture(scope="module")
+def plans():
+    return resilience_fault_plans(60.0)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return execute_spec(RunSpec("conscale", small_resilience_config()))
+
+
+@pytest.fixture(scope="module")
+def crashed(plans):
+    return execute_spec(
+        RunSpec("conscale", small_resilience_config(), faults=plans["crash"])
+    )
+
+
+@pytest.fixture(scope="module")
+def dropped(plans):
+    return execute_spec(
+        RunSpec("conscale", small_resilience_config(), faults=plans["dropout"])
+    )
+
+
+# ----------------------------------------------------------------------
+# determinism: faults do not cost reproducibility
+# ----------------------------------------------------------------------
+
+def test_fault_plan_rides_spec_not_scenario(plans):
+    plain = RunSpec("conscale", small_resilience_config())
+    faulted = RunSpec(
+        "conscale", small_resilience_config(), faults=plans["crash"]
+    )
+    assert plain.digest() != faulted.digest()
+    # The scenario digest is shared — the precondition for `repro diff`.
+    assert content_digest(plain.config) == content_digest(faulted.config)
+    assert faulted.label.endswith("!" + plans["crash"].describe())
+
+
+def test_faulted_run_reproducible(crashed, plans):
+    again = execute_spec(
+        RunSpec("conscale", small_resilience_config(), faults=plans["crash"])
+    )
+    assert again.signature() == crashed.signature()
+
+
+def test_faulted_run_identical_on_process_backend(crashed, plans):
+    spec = RunSpec(
+        "conscale", small_resilience_config(), faults=plans["crash"]
+    )
+    filler = RunSpec("ec2", small_resilience_config())  # forces a real pool
+    via_pool = ExperimentEngine(jobs=2, use_cache=False).run_many(
+        [spec, filler]
+    )[0]
+    assert via_pool.signature() == crashed.signature()
+
+
+# ----------------------------------------------------------------------
+# crash: diffable against the fault-free twin
+# ----------------------------------------------------------------------
+
+def test_crash_run_diffs_against_fault_free_twin(baseline, crashed):
+    diff = diff_artifacts(baseline, crashed)
+    assert diff.divergence is not None  # the traces demonstrably fork
+    kinds = {e.kind for e in crashed.actions.faults()}
+    assert {"fault_injected", "server_ejected"} <= kinds
+    assert baseline.actions.faults() == []
+    # The surviving replica forces different decisions, not just noise.
+    assert diff.events_a != diff.events_b
+
+
+def test_crash_accounting_and_recovery(crashed):
+    assert crashed.failed > 0
+    summary = crashed.resilience
+    assert summary is not None
+    assert len(summary.episodes) == 1
+    assert summary.episodes[0].kind == "crash"
+    assert summary.episodes[0].failed == crashed.failed
+    (recovery,) = summary.recovery_s
+    assert np.isfinite(recovery)  # tail returned to pre-fault baseline
+
+
+# ----------------------------------------------------------------------
+# dropout: graceful degradation, never actuating on stale estimates
+# ----------------------------------------------------------------------
+
+def test_dropout_controller_holds_while_stale(dropped, plans):
+    (spec,) = plans["dropout"]
+    start, end = spec.window
+    holds = [
+        e for e in dropped.actions.all() if "telemetry stale" in e.reason
+    ]
+    assert holds, "no auditable hold decisions during the blackout"
+    assert all(start < e.time <= end + 1.0 for e in holds)
+    # The acceptance bar: no soft cap justified by an SCT estimate may
+    # be applied while the feed is dark.
+    acted_blind = [
+        e
+        for e in dropped.actions.all()
+        if e.is_soft and e.estimate is not None and start < e.time <= end
+    ]
+    assert acted_blind == []
+
+
+def test_dropout_tail_within_ten_percent_of_fault_free(baseline, dropped):
+    p95_base = baseline.tail().p95
+    p95_drop = dropped.tail().p95
+    assert abs(p95_drop - p95_base) / p95_base < 0.10
+
+
+# ----------------------------------------------------------------------
+# the suite grid and its report rows
+# ----------------------------------------------------------------------
+
+def test_suite_shape_and_order():
+    specs = resilience_suite(duration=60.0)
+    assert len(specs) == 4 * 6  # frameworks x (baseline + 5 fault classes)
+    # Stable order: frameworks outer, baseline first within each.
+    assert [s.framework for s in specs[:6]] == ["ec2"] * 6
+    assert specs[0].faults is None and specs[6].faults is None
+    assert len({s.digest() for s in specs}) == len(specs)
+
+
+def test_resilience_rows_match_headers(baseline, crashed):
+    rows = resilience_rows([baseline, crashed])
+    assert all(len(row) == len(RESILIENCE_HEADERS) for row in rows)
+    assert rows[0][1] == "none"
+    assert rows[1][1] == crashed.spec.faults.describe()
+    assert rows[1][3] == crashed.failed
+    assert rows[1][6] != "-"  # the crash episode got a recovery figure
+
+
+def test_cli_resilience_subcommand(capsys, tmp_path, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    assert main([
+        "resilience", "--frameworks", "ec2", "--trace", "dual_phase",
+        "--scale", "300", "--duration", "60", "--seed", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "crash:db[0]@24" in out
+    assert "dropout" in out and "timeout" in out
+    assert out.count("ec2") == 6

@@ -13,6 +13,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.cloud.hypervisor import Hypervisor
+from repro.faults.injector import apply_slowdown, remove_slowdown
 from repro.monitoring.warehouse import MetricWarehouse
 from repro.ntier.app import APP, DB, WEB, NTierApplication, SoftResourceAllocation
 from repro.rng import RngRegistry
@@ -31,6 +32,7 @@ ACTIONS = st.lists(
         st.sampled_from([
             "out_app", "out_db", "in_app", "in_db", "up_db",
             "threads_app", "conns", "web_threads",
+            "crash_app", "crash_db", "slow_db",
         ]),
         st.integers(2, 80),  # soft value when applicable
     ),
@@ -55,8 +57,32 @@ def build_stack():
     return sim, app, actuator
 
 
-def apply_action(actuator, app, kind, value):
-    from repro.errors import ScalingError
+def _crash(actuator, app, tier, value):
+    servers = sorted(app.tiers[tier].servers, key=lambda s: s.name)
+    if servers:
+        actuator.crash_server(servers[value % len(servers)].name)
+
+
+def _slow_episode(sim, app, value):
+    """A short multiplicative degradation with a crash-tolerant restore."""
+    servers = sorted(app.tiers[DB].servers, key=lambda s: s.name)
+    if not servers:
+        return
+    name = servers[value % len(servers)].name
+    apply_slowdown(servers[value % len(servers)], 4.0)
+
+    def _restore():
+        target = next(
+            (s for s in app.tiers[DB].all_instances() if s.name == name), None
+        )
+        if target is not None:
+            remove_slowdown(target, 4.0)
+
+    sim.schedule_after(3.0, _restore)
+
+
+def apply_action(sim, actuator, app, kind, value):
+    from repro.errors import FaultError, ScalingError
 
     try:
         if kind == "out_app":
@@ -75,8 +101,15 @@ def apply_action(actuator, app, kind, value):
             actuator.set_db_connections(value)
         elif kind == "web_threads":
             actuator.set_web_threads(max(50, value))
-    except ScalingError:
-        # e.g. draining the last server — a legal refusal, not a bug
+        elif kind == "crash_app":
+            _crash(actuator, app, APP, value)
+        elif kind == "crash_db":
+            _crash(actuator, app, DB, value)
+        elif kind == "slow_db":
+            _slow_episode(sim, app, value)
+    except (ScalingError, FaultError):
+        # e.g. draining or crashing the last server — a legal refusal,
+        # not a bug
         pass
 
 
@@ -93,14 +126,15 @@ def test_scaling_churn_conserves_requests(actions):
     )
     gen.start()
     for when, kind, value in actions:
-        sim.schedule(when, apply_action, actuator, app, kind, value)
+        sim.schedule(when, apply_action, sim, actuator, app, kind, value)
     sim.run(until=30.0)
     gen.stop()
     sim.run(until=90.0)  # drain everything, including draining servers
 
-    # conservation: every submitted request completed
+    # conservation: every submitted request completed or was failed by
+    # a crash — nothing is silently lost
     assert app.in_flight == 0
-    assert app.completed == app.submitted
+    assert app.completed + app.failed == app.submitted
     assert app.completed > 100
 
     # pool accounting: nothing left holding permits or queued
@@ -144,3 +178,60 @@ def test_scale_in_under_heavy_load_loses_nothing():
     assert app.in_flight == 0
     assert app.completed == app.submitted
     assert app.tiers[DB].draining == []
+
+
+def test_crash_during_drain_cancels_poll_and_conserves():
+    """A draining server dying mid-drain must cancel its drain poll
+    (no FaultError from a poll on a vanished server), fail its
+    stragglers, and leave clean accounting."""
+    sim, app, actuator = build_stack()
+    rng = RngRegistry(17)
+    gen = ClosedLoopGenerator(
+        sim, app, 40,
+        RequestFactory(tiny_mix(db=0.02), rng.stream("d")),
+        rng.stream("u"), think_time=0.0,
+    )
+    gen.start()
+    sim.schedule(1.0, actuator.scale_out, DB)
+    sim.schedule(6.0, actuator.scale_in, DB)
+
+    crashed = {}
+
+    def _crash_draining():
+        draining = app.tiers[DB].draining
+        assert draining, "drain should still be in progress"
+        crashed["victims"] = len(actuator.crash_server(draining[0].name))
+
+    sim.schedule(6.05, _crash_draining)
+    sim.run(until=20.0)
+    gen.stop()
+    sim.run(until=60.0)
+    assert "victims" in crashed  # the crash really hit a draining server
+    assert app.failed == crashed["victims"]
+    assert app.completed + app.failed == app.submitted
+    assert app.in_flight == 0
+    assert app.tiers[DB].size == 1
+    assert app.tiers[DB].draining == []
+    assert not actuator.action_in_flight(DB)
+
+
+def test_slow_node_during_scale_up_composes():
+    """Vertical scaling mid-degradation: after the episode ends the
+    server's capacity must equal original x scale_up factor exactly."""
+    sim, app, actuator = build_stack()
+    state = {}
+
+    def _degrade():
+        target = app.tiers[DB].servers[0]
+        state["target"] = target
+        state["original"] = target.capacity.resource("cpu").units
+        apply_slowdown(target, 4.0)
+
+    sim.schedule(1.0, _degrade)
+    sim.schedule(2.0, actuator.scale_up, DB, 2.0, 8.0)
+    sim.schedule(10.0, lambda: remove_slowdown(state["target"], 4.0))
+    sim.run(until=20.0)
+    assert abs(
+        state["target"].capacity.resource("cpu").units
+        - state["original"] * 2.0
+    ) < 1e-9
