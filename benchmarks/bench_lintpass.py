@@ -1,0 +1,42 @@
+"""repro-lint throughput: the gate must be cheap enough to run always.
+
+A determinism linter only holds the line if it sits in CI and
+pre-commit hooks without anyone noticing it; the budget here is a full
+parse + all six rules over the entire ``repro`` package in under five
+seconds. Also checks the pass is doing real work (every source file
+parsed, every rule loaded) so a silently-skipping linter cannot pass on
+speed alone.
+"""
+
+import os
+
+from benchmarks.conftest import run_once
+from repro.lintpass import all_rules, run_lint
+
+MAX_SECONDS = 5.0
+
+
+def test_full_package_lint_under_budget(benchmark):
+    import repro
+
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    report = run_once(benchmark, run_lint, [package_dir])
+
+    stats = benchmark.stats.stats
+    seconds = stats.max
+    source_files = sum(
+        1
+        for _, _, names in os.walk(package_dir)
+        for n in names
+        if n.endswith(".py")
+    )
+    print()
+    print(
+        f"linted {report.files_checked} files with {len(all_rules())} rules "
+        f"in {seconds:.2f}s"
+    )
+    assert report.files_checked == source_files
+    assert report.clean, "\n".join(v.render() for v in report.violations)
+    assert seconds < MAX_SECONDS, (
+        f"full-package lint took {seconds:.2f}s (budget {MAX_SECONDS:.0f}s)"
+    )

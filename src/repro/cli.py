@@ -15,7 +15,13 @@ Commands:
 * ``figure`` — regenerate one figure by number (1, 3, 5, 6, 7, 9, 10, 11);
 * ``predict`` — analytical (MVA) closed-loop throughput/latency curve;
 * ``traces`` — list the six built-in trace shapes;
-* ``worker`` — drain a file-queue backend's shared queue directory.
+* ``worker`` — drain a file-queue backend's shared queue directory;
+* ``lint`` — the repro-lint determinism/invariant static-analysis pass
+  (exit 0 clean, 1 with violations; ``--json`` for machine output).
+
+``run --race-check`` replays the scenario under a permuted
+same-timestamp tie-break order and fails (exit 2) if any observable
+diverges — the dynamic complement of ``lint``.
 
 Figures print their series and write CSVs under ``--results``.
 
@@ -196,15 +202,21 @@ def _run_overrides(framework: str, headroom: float | None) -> RunOverrides:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    engine = _engine(args)
-    result = engine.run(
-        RunSpec(
-            args.framework,
-            _config(args),
-            _run_overrides(args.framework, args.headroom),
-            faults=parse_faults(args.faults),
-        )
+    spec = RunSpec(
+        args.framework,
+        _config(args),
+        _run_overrides(args.framework, args.headroom),
+        faults=parse_faults(args.faults),
     )
+    if args.race_check:
+        from repro.experiments.racecheck import run_race_check
+
+        # Raises TieOrderRaceError (exit 2 via main) on divergence.
+        report = run_race_check(spec)
+        print(report.describe())
+        return 0
+    engine = _engine(args)
+    result = engine.run(spec)
     print(format_table(_TAIL_HEADERS, [_tail_row(args.framework, result)]))
     if result.spec.faults is not None:
         in_flight = result.generated - result.completed - result.failed
@@ -457,6 +469,34 @@ def cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repro-lint static-analysis pass (see repro.lintpass)."""
+    from repro.lintpass import run_lint
+    from repro.lintpass.report import render_json, render_text
+
+    if args.paths:
+        paths = args.paths
+    else:
+        # Default target: the installed repro package source tree.
+        import repro
+
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    rules = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules
+        else None
+    )
+    report = run_lint(paths, rules=rules)
+    if args.json:
+        print(render_json(report.violations, report.files_checked,
+                          report.roots))
+    else:
+        print(render_text(report.violations, report.files_checked))
+        if report.suppressed:
+            print(f"({len(report.suppressed)} suppressed)")
+    return 0 if report.clean else 1
+
+
 def cmd_traces(args: argparse.Namespace) -> int:
     rows = []
     for name in TRACE_NAMES:
@@ -494,6 +534,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated fault plan, e.g. 'crash:db:120' or "
         "'slow:app:60:30:4,dropout:all:200:25' (kinds: slow, crash, "
         "prov, dropout, timeout)",
+    )
+    p_run.add_argument(
+        "--race-check", action="store_true",
+        help="run twice (canonical and permuted same-timestamp order) and "
+        "fail if any observable diverges; skips the cache and the normal "
+        "summary output",
     )
     p_run.set_defaults(func=cmd_run)
 
@@ -595,6 +641,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after this long with an empty queue (0 = run forever)",
     )
     p_worker.set_defaults(func=cmd_worker)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="determinism/invariant static analysis (exit 1 on violations)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable JSON report on stdout")
+    p_lint.add_argument(
+        "--rules", default=None, metavar="ID,ID",
+        help="comma-separated subset of rule ids (default: all)",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_pred = sub.add_parser(
         "predict", help="analytical (MVA) closed-loop prediction"

@@ -46,7 +46,7 @@ class ControlBus:
         """
         return bool(self._handlers.get(event_type))
 
-    def publish(self, event) -> None:
+    def publish(self, event: object) -> None:
         """Deliver ``event`` to every subscriber of its exact type."""
         for handler in self._handlers.get(type(event), ()):
             handler(event)

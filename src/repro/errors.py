@@ -12,6 +12,8 @@ __all__ = [
     "ConfigurationError",
     "SimulationError",
     "ScheduleError",
+    "TieOrderRaceError",
+    "LintError",
     "CapacityModelError",
     "PoolError",
     "TraceError",
@@ -42,6 +44,24 @@ class SimulationError(ReproError):
 
 class ScheduleError(SimulationError):
     """An event was scheduled in the past or on a finished simulator."""
+
+
+class TieOrderRaceError(SimulationError):
+    """Observable state depends on the execution order of concurrent
+    (same-timestamp, same-priority) events.
+
+    Raised by the tie-order race detector
+    (:func:`repro.experiments.racecheck.run_race_check`) when replaying
+    a run under a permuted tie-break order diverges from the canonical
+    order in any observable: request records, warehouse series, VM
+    timelines, or control-bus events. The discrete-event analogue of a
+    data race: the outcome hangs on a scheduling accident."""
+
+
+class LintError(ReproError):
+    """The repro-lint static analysis pass could not complete (bad
+    target path, unparseable source, unknown rule id in a suppression
+    or CLI selection)."""
 
 
 class CapacityModelError(ReproError):

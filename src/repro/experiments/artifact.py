@@ -56,13 +56,18 @@ __all__ = [
 #: v3: specs grew a :class:`~repro.faults.plan.FaultPlan`; artifacts
 #: grew failed/retried counters and a resilience summary, all in the
 #: signature.
-SCHEMA_VERSION = 3
+#: v4: same-timestamp event execution gained deterministic priorities
+#: (model < warehouse < controller < sampler < fine monitor) and the
+#: warehouse collects in name order; the signature now also covers
+#: ``interactions``/``generated``/``completed`` and the fine-series
+#: tier column. Runs are bit-different from v3, so v3 caches are stale.
+SCHEMA_VERSION = 4
 
 #: Older artifact schemas that still load (``DecisionTrace`` upgrades
 #: their pickled ``ActionLog`` transparently; pre-fault artifacts read
 #: as fault-free). The result *cache* only accepts the current version;
 #: this set is for explicitly saved artifact files.
-COMPAT_SCHEMAS = frozenset({1, 2, SCHEMA_VERSION})
+COMPAT_SCHEMAS = frozenset({1, 2, 3, SCHEMA_VERSION})
 
 FRAMEWORKS = ("ec2", "dcm", "conscale", "predictive")
 
@@ -197,7 +202,9 @@ class RunSpec:
         digest = getattr(self, "_digest", None)
         if digest is None:
             digest = content_digest(("runspec", SCHEMA_VERSION, self))
-            object.__setattr__(self, "_digest", digest)
+            # Write-once memo of a pure function of the frozen fields —
+            # not a mutation of spec state, so the digest stays honest.
+            object.__setattr__(self, "_digest", digest)  # repro-lint: ignore[frozen-mutate]
         return digest
 
     def __hash__(self) -> int:
@@ -296,11 +303,13 @@ class RunArtifact:
         return self.actions
 
     def signature(self) -> str:
-        """Content digest of the artifact's numeric series.
+        """Content digest of the artifact's recorded series.
 
         Two runs of the same spec must produce the same signature —
         this is the determinism contract the engine tests pin down
         (sequential vs parallel, in-memory vs cache round-trip).
+        Every field of the artifact is covered (the digest-coverage
+        lint rule cross-checks this against the dataclass).
         """
         return content_digest(
             (
@@ -311,6 +320,9 @@ class RunArtifact:
                 self.latencies,
                 self.completion_times,
                 self.arrival_times,
+                self.interactions,
+                self.generated,
+                self.completed,
                 self.vm_times,
                 self.vm_counts,
                 self.vm_counts_by_tier,
@@ -321,7 +333,7 @@ class RunArtifact:
                     for e in hist
                 ],
                 [
-                    (s.server, s.t_end, s.concurrency, s.throughput,
+                    (s.server, s.tier, s.t_end, s.concurrency, s.throughput,
                      s.completions)
                     for _, s in sorted(self.fine_series.items())
                 ],

@@ -278,7 +278,11 @@ class FileQueueBackend:
     ) -> None:
         """Return stale-heartbeat leases to pending/ (crashed worker)."""
         try:
-            names = os.listdir(self._dir(LEASED))
+            # Sorted like every other queue scan: lease-expiry handling
+            # must not depend on readdir order, or two coordinators
+            # observing the same directory would requeue in different
+            # orders.
+            names = sorted(os.listdir(self._dir(LEASED)))
         except FileNotFoundError:
             return
         now = time.time()

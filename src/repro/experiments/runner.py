@@ -48,7 +48,7 @@ from repro.scaling.factory import ServerFactory
 from repro.scaling.policy import TierPolicyConfig
 from repro.scaling.predictive import PredictiveAutoScaling
 from repro.sct.model import SCTModel
-from repro.sim.engine import Simulator
+from repro.sim.engine import PRIORITY_SAMPLER, Simulator
 from repro.sim.process import PeriodicProcess
 from repro.workload.generator import OpenLoopGenerator, RequestFactory
 from repro.workload.mixes import WorkloadMix, browse_only_mix, read_write_mix
@@ -117,20 +117,30 @@ def run_experiment(
     return execute_spec(RunSpec(framework, config, overrides, faults))
 
 
-def execute_spec(spec: RunSpec) -> RunArtifact:
+def execute_spec(spec: RunSpec, *, sim: Simulator | None = None) -> RunArtifact:
     """Execute one :class:`RunSpec` and package its artifact.
 
     This is the engine's unit of work: self-contained (fresh simulator
     and RNG registry per call), deterministic for a given spec digest,
     and safe to run in a worker process.
+
+    ``sim`` lets a caller supply a pre-configured simulator — the
+    tie-order race detector passes ``Simulator(tie_order="reverse")``
+    and reads the batch statistics back off it afterwards. The
+    simulator must be fresh (clock at 0, empty calendar).
     """
     framework, config = spec.framework, spec.config
     if framework not in FRAMEWORKS:
         raise ConfigurationError(
             f"framework must be one of {FRAMEWORKS}, got {framework!r}"
         )
+    if sim is None:
+        sim = Simulator()
+    elif sim.now != 0.0 or sim.pending_events or sim.events_executed:
+        raise ConfigurationError(
+            "execute_spec needs a fresh simulator (clock at 0, empty calendar)"
+        )
     rng = RngRegistry(config.seed)
-    sim = Simulator()
     cal = config.calibration
 
     # --- application & cloud -------------------------------------------
@@ -227,7 +237,10 @@ def execute_spec(spec: RunSpec) -> RunArtifact:
         for tier in (APP, DB):
             vm_by_tier[tier].append(hypervisor.billable_count(tier))
 
-    vm_sampler = PeriodicProcess(sim, 1.0, _sample_vms)
+    # Samples at PRIORITY_SAMPLER: a launch that completes at exactly a
+    # sample instant is always counted in that sample, regardless of
+    # which concurrent event the scheduler happened to pop first.
+    vm_sampler = PeriodicProcess(sim, 1.0, _sample_vms, priority=PRIORITY_SAMPLER)
 
     # --- run --------------------------------------------------------------
     generator.start()
@@ -247,7 +260,7 @@ def execute_spec(spec: RunSpec) -> RunArtifact:
         )
 
     fine_series: dict[str, FineSeries] = {}
-    for name, (tier, samples) in warehouse.all_fine_samples(window).items():
+    for name, (tier, samples) in sorted(warehouse.all_fine_samples(window).items()):
         fine_series[name] = FineSeries(
             server=name,
             tier=tier,
@@ -287,7 +300,7 @@ def execute_spec(spec: RunSpec) -> RunArtifact:
         actions=actions,
         vm_times=np.asarray(vm_times),
         vm_counts=np.asarray(vm_counts),
-        vm_counts_by_tier={t: np.asarray(v) for t, v in vm_by_tier.items()},
+        vm_counts_by_tier={t: np.asarray(v) for t, v in sorted(vm_by_tier.items())},
         cpu_series=cpu_series,
         estimates=estimates,
         fine_series=fine_series,

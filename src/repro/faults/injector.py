@@ -18,12 +18,15 @@ faulted runs byte-reproducible.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.control.bus import ControlBus
 from repro.control.events import DecisionEvent
 from repro.errors import ConfigurationError, FaultError
 from repro.faults.plan import (
     ClientTimeoutSpec,
     FaultPlan,
+    FaultSpec,
     ProvisioningFaultSpec,
     ServerCrashSpec,
     SlowNodeSpec,
@@ -31,6 +34,14 @@ from repro.faults.plan import (
 )
 from repro.faults.summary import FaultEpisode
 from repro.ntier.server import Server
+
+if TYPE_CHECKING:
+    from repro.cloud.hypervisor import Hypervisor
+    from repro.monitoring.warehouse import MetricWarehouse
+    from repro.ntier.app import NTierApplication
+    from repro.scaling.actuator import Actuator
+    from repro.sim.engine import Simulator
+    from repro.workload.generator import OpenLoopGenerator
 
 __all__ = ["FaultInjector", "apply_slowdown", "remove_slowdown"]
 
@@ -67,12 +78,12 @@ class FaultInjector:
 
     def __init__(
         self,
-        sim,
-        app,
-        actuator,
-        hypervisor,
-        warehouse,
-        generator=None,
+        sim: Simulator,
+        app: NTierApplication,
+        actuator: Actuator,
+        hypervisor: Hypervisor,
+        warehouse: MetricWarehouse,
+        generator: OpenLoopGenerator | None = None,
         bus: ControlBus | None = None,
     ) -> None:
         self.sim = sim
@@ -229,6 +240,7 @@ class FaultInjector:
     # client timeout + retry
     # ------------------------------------------------------------------
     def _timeout_start(self, spec: ClientTimeoutSpec) -> None:
+        assert self.generator is not None  # guarded in schedule()
         self.generator.set_client_timeout(spec.deadline, spec.max_retries)
         self._record(spec, detail=f"deadline={spec.deadline:g}")
         self._emit(
@@ -237,6 +249,7 @@ class FaultInjector:
         )
 
     def _timeout_end(self, spec: ClientTimeoutSpec) -> None:
+        assert self.generator is not None  # guarded in schedule()
         self.generator.clear_client_timeout()
         self._emit(
             "fault_recovered", "-", detail="deadline cleared",
@@ -244,7 +257,7 @@ class FaultInjector:
         )
 
     # ------------------------------------------------------------------
-    def _record(self, spec, detail: str, failed: int = 0) -> None:
+    def _record(self, spec: FaultSpec, detail: str, failed: int = 0) -> None:
         start, end = spec.window
         self.episodes.append(
             FaultEpisode(

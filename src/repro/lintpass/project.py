@@ -1,0 +1,279 @@
+"""The parsed view of a source tree that rules walk.
+
+A :class:`ProjectIndex` holds every parsed file plus the cross-file
+indices the rules need:
+
+* per-file **import alias maps** so ``np.random.default_rng`` resolves
+  to ``numpy.random.default_rng`` whatever the local spelling;
+* a **class index** (simple name -> definitions) so digest-coverage can
+  collect inherited dataclass fields and inherited digest methods;
+* **module names** derived from the path's ``repro`` component, so a
+  fixture tree ``fixtures/case/repro/sim/x.py`` is linted under the
+  same package-scoped rules as the real ``src/repro/sim/x.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import LintError
+from repro.lintpass.base import parse_suppressions
+
+__all__ = ["SourceFile", "ClassInfo", "ProjectIndex", "dotted_name"]
+
+
+def module_name(path: str) -> str:
+    """Dotted module name of a file, rooted at its ``repro`` component.
+
+    ``src/repro/sim/engine.py`` -> ``repro.sim.engine``; a fixture tree
+    ``tests/lintpass/fixtures/r2/repro/sim/bad.py`` -> ``repro.sim.bad``
+    (so package-scoped rules apply to fixtures exactly as they do to the
+    real source). Files outside any ``repro`` directory lint under
+    their bare stem.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    if "repro" in parts[:-1]:
+        root = len(parts) - 2 - parts[-2::-1].index("repro")
+        packages = parts[root:-1]
+    else:
+        packages = []
+    if stem == "__init__":
+        return ".".join(packages) if packages else stem
+    return ".".join((*packages, stem)) if packages else stem
+
+
+def _alias_map(tree: ast.Module, module: str) -> dict[str, str]:
+    """Local name -> dotted origin, from every import in the file."""
+    aliases: dict[str, str] = {}
+    package = module.rsplit(".", 1)[0] if "." in module else ""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                # `import numpy.random` binds `numpy`; `import numpy.random
+                # as npr` binds `npr` to the full dotted path.
+                aliases[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Relative import: climb from this file's package.
+                climb = package.split(".") if package else []
+                climb = climb[: max(0, len(climb) - (node.level - 1))]
+                base = ".".join((*climb, base)) if base else ".".join(climb)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{base}.{alias.name}" if base else alias.name
+    return aliases
+
+
+def dotted_name(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Resolve an attribute chain to a dotted path via the alias map.
+
+    ``np.random.default_rng`` with ``{"np": "numpy"}`` ->
+    ``"numpy.random.default_rng"``. Chains rooted at anything other
+    than a plain name (calls, subscripts) resolve to ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed source file plus its lint-relevant derived data."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    aliases: dict[str, str]
+    suppressed: dict[int, frozenset[str]]
+    #: child node -> parent node, for the rules that need context
+    #: ("is this listdir call directly inside sorted()?").
+    parents: dict[ast.AST, ast.AST]
+
+    def in_package(self, *packages: str) -> bool:
+        """True when this file's module sits inside any given package."""
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in packages
+        )
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        marks = self.suppressed.get(line)
+        return marks is not None and (rule_id in marks or "*" in marks)
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class definition: where it lives and what the rules need."""
+
+    name: str
+    file: SourceFile
+    node: ast.ClassDef
+    is_dataclass: bool
+    #: own dataclass fields, in declaration order (ClassVars excluded)
+    fields: tuple[str, ...]
+    #: base-class simple names, for index lookup
+    bases: tuple[str, ...]
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+
+def _is_dataclass_decorator(node: ast.expr) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    name = target.attr if isinstance(target, ast.Attribute) else (
+        target.id if isinstance(target, ast.Name) else ""
+    )
+    return name == "dataclass"
+
+
+def _class_info(file: SourceFile, node: ast.ClassDef) -> ClassInfo:
+    fields: list[str] = []
+    methods: dict[str, ast.FunctionDef] = {}
+    for item in node.body:
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            annotation = ast.dump(item.annotation)
+            if "ClassVar" not in annotation:
+                fields.append(item.target.id)
+        elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[item.name] = item  # type: ignore[assignment]
+    bases = tuple(
+        base.attr if isinstance(base, ast.Attribute) else base.id
+        for base in node.bases
+        if isinstance(base, (ast.Name, ast.Attribute))
+    )
+    return ClassInfo(
+        name=node.name,
+        file=file,
+        node=node,
+        is_dataclass=any(
+            _is_dataclass_decorator(d) for d in node.decorator_list
+        ),
+        fields=tuple(fields),
+        bases=bases,
+        methods=methods,
+    )
+
+
+class ProjectIndex:
+    """Every parsed file of a lint run, plus the cross-file indices."""
+
+    def __init__(self, files: list[SourceFile]) -> None:
+        self.files = files
+        self.classes: dict[str, list[ClassInfo]] = {}
+        for file in files:
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.ClassDef):
+                    info = _class_info(file, node)
+                    self.classes.setdefault(info.name, []).append(info)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, paths: list[str]) -> "ProjectIndex":
+        """Parse every ``.py`` file under the given files/directories.
+
+        Files are gathered in sorted order so reports (and digests of
+        reports) are stable across filesystems. Unreadable or
+        syntactically broken files abort the run with a
+        :class:`~repro.errors.LintError` — a linter that silently skips
+        what it cannot parse reports a clean pass it never performed.
+        """
+        collected: list[str] = []
+        for path in paths:
+            if os.path.isdir(path):
+                for dirpath, dirnames, filenames in os.walk(path):
+                    dirnames.sort()
+                    dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                    collected.extend(
+                        os.path.join(dirpath, name)
+                        for name in sorted(filenames)
+                        if name.endswith(".py")
+                    )
+            elif os.path.isfile(path):
+                collected.append(path)
+            else:
+                raise LintError(f"no such file or directory: {path!r}")
+        files: list[SourceFile] = []
+        for filepath in collected:
+            try:
+                with open(filepath, "r", encoding="utf-8") as fh:
+                    source = fh.read()
+            except OSError as exc:
+                raise LintError(f"cannot read {filepath!r}: {exc}") from exc
+            try:
+                tree = ast.parse(source, filename=filepath)
+            except SyntaxError as exc:
+                raise LintError(f"cannot parse {filepath!r}: {exc}") from exc
+            module = module_name(filepath)
+            parents: dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(tree):
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+            files.append(
+                SourceFile(
+                    path=filepath,
+                    module=module,
+                    source=source,
+                    tree=tree,
+                    aliases=_alias_map(tree, module),
+                    suppressed=parse_suppressions(source.splitlines()),
+                    parents=parents,
+                )
+            )
+        return cls(files)
+
+    # ------------------------------------------------------------------
+    def resolve_class(self, name: str) -> ClassInfo | None:
+        """The definition of a class by simple name (first match)."""
+        infos = self.classes.get(name)
+        return infos[0] if infos else None
+
+    def all_fields(self, info: ClassInfo) -> tuple[str, ...]:
+        """Own + inherited dataclass fields (bases resolved by name
+        within the index; unknown bases contribute nothing)."""
+        seen: list[str] = []
+        stack = [info]
+        visited: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current.name in visited:
+                continue
+            visited.add(current.name)
+            seen.extend(f for f in current.fields if f not in seen)
+            for base in current.bases:
+                base_info = self.resolve_class(base)
+                if base_info is not None:
+                    stack.append(base_info)
+        return tuple(seen)
+
+    def resolve_method(
+        self, info: ClassInfo, names: tuple[str, ...]
+    ) -> ast.FunctionDef | None:
+        """First method matching any name, searching the MRO-ish chain
+        (the class, then its bases by simple name)."""
+        stack = [info]
+        visited: set[str] = set()
+        while stack:
+            current = stack.pop(0)
+            if current.name in visited:
+                continue
+            visited.add(current.name)
+            for name in names:
+                if name in current.methods:
+                    return current.methods[name]
+            for base in current.bases:
+                base_info = self.resolve_class(base)
+                if base_info is not None:
+                    stack.append(base_info)
+        return None

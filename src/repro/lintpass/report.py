@@ -1,0 +1,67 @@
+"""Rendering of lint results: human text and machine-readable JSON.
+
+The JSON schema (version 1)::
+
+    {
+      "version": 1,
+      "root": ["src/repro"],
+      "files_checked": 58,
+      "violations": [
+        {"rule": "wall-clock", "path": "src/repro/sim/x.py",
+         "line": 10, "col": 4, "message": "..."}
+      ],
+      "counts": {"wall-clock": 1}
+    }
+
+``violations`` is sorted by (path, line, col, rule) and ``counts``
+key-sorted, so the output is byte-stable for a given tree — it can be
+diffed, cached, and digested like everything else in this repo.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.lintpass.base import Violation
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_text", "render_json"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(
+    violations: Sequence[Violation], files_checked: int
+) -> str:
+    """One line per violation plus a summary line."""
+    lines = [v.render() for v in violations]
+    noun = "file" if files_checked == 1 else "files"
+    if violations:
+        count = len(violations)
+        vnoun = "violation" if count == 1 else "violations"
+        lines.append(f"{count} {vnoun} in {files_checked} {noun} checked")
+    else:
+        lines.append(f"clean: 0 violations in {files_checked} {noun} checked")
+    return "\n".join(lines)
+
+
+def render_json(
+    violations: Sequence[Violation],
+    files_checked: int,
+    roots: Iterable[str],
+) -> str:
+    counts: dict[str, int] = {}
+    for v in violations:
+        counts[v.rule] = counts.get(v.rule, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "root": list(roots),
+        "files_checked": files_checked,
+        "violations": [
+            {"rule": v.rule, "path": v.path, "line": v.line, "col": v.col,
+             "message": v.message}
+            for v in violations
+        ],
+        "counts": dict(sorted(counts.items())),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

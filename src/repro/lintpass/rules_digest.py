@@ -1,0 +1,97 @@
+"""Digest-coverage rule: every field of a digested dataclass must be
+digested.
+
+The content-addressed cache assumes a spec's digest covers everything
+that changes a run's outcome. The classic way that assumption rots: a
+field is added to the dataclass, the digest method keeps enumerating
+the old fields, and two semantically different specs now alias to one
+cache entry. This rule cross-references each dataclass's field list
+(own *and* inherited) against the AST of its digest-like method.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintpass.base import Rule, Violation, register
+from repro.lintpass.project import ClassInfo, ProjectIndex
+
+__all__ = ["DigestCoverageRule"]
+
+#: Method names treated as digest/signature definitions.
+_DIGEST_METHODS = ("digest", "signature", "signature_key", "canonical_key")
+
+
+def _passes_whole_self(method: ast.FunctionDef) -> bool:
+    """True when the method hands bare ``self`` to some call — the
+    pass-the-whole-object style (``content_digest((..., self))``) that
+    covers every field via ``dataclasses.fields`` automatically."""
+    attribute_bases = {
+        id(node.value)
+        for node in ast.walk(method)
+        if isinstance(node, ast.Attribute)
+    }
+    return any(
+        isinstance(node, ast.Name)
+        and node.id == "self"
+        and id(node) not in attribute_bases
+        for node in ast.walk(method)
+    )
+
+
+def _self_attrs(method: ast.FunctionDef) -> set[str]:
+    return {
+        node.attr
+        for node in ast.walk(method)
+        if isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    }
+
+
+@register
+class DigestCoverageRule(Rule):
+    """A dataclass with a digest/signature method must reference every
+    field in it (or pass whole ``self`` to the digest)."""
+
+    id = "digest-coverage"
+    summary = "dataclass field missing from its digest/signature method"
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        for infos in index.classes.values():
+            for info in infos:
+                if not info.is_dataclass:
+                    continue
+                yield from self._check_class(index, info)
+
+    def _check_class(
+        self, index: ProjectIndex, info: ClassInfo
+    ) -> Iterator[Violation]:
+        method = index.resolve_method(info, _DIGEST_METHODS)
+        if method is None:
+            return
+        if _passes_whole_self(method):
+            # dataclasses.fields(self) covers subclass fields too.
+            return
+        fields = index.all_fields(info)
+        covered = _self_attrs(method)
+        missing = [
+            f for f in fields if f not in covered and not f.startswith("_")
+        ]
+        if not missing:
+            return
+        own = method.name in info.methods
+        where = (
+            f"its {method.name}()" if own
+            else f"the inherited {method.name}()"
+        )
+        # Anchor on the class definition: for the inherited case the
+        # defect lives in the *subclass* that added fields the parent's
+        # digest has never heard of.
+        yield self.violation(
+            info.file.path, info.node.lineno, info.node.col_offset,
+            f"dataclass {info.name!r}: field(s) {', '.join(missing)} never "
+            f"appear in {where}; the digest aliases specs that differ in "
+            "them",
+        )

@@ -1,0 +1,116 @@
+"""Event-kind exhaustiveness: emitted kinds must be declared.
+
+The control plane's contract is that :mod:`repro.control.events` is
+the complete vocabulary of decision kinds — figure code, the trace
+differ, and the resilience analyzer all dispatch on those constants.
+An event emitted with an ad-hoc kind string silently falls through
+every ``of_kind`` query. This rule collects the declared kinds from the
+events module and flags any string-literal kind at an emission site
+(``emit``/``_emit``/``record`` calls, ``DecisionEvent`` construction)
+that is not in the vocabulary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintpass.base import Rule, Violation, register
+from repro.lintpass.project import ProjectIndex, SourceFile
+
+__all__ = ["EventKindsRule"]
+
+#: module whose top-level string constants define the vocabulary
+_EVENTS_MODULE = "repro.control.events"
+
+#: (callable name, positional index of the kind argument)
+_EMITTERS = {"emit": 0, "_emit": 0, "record": 1}
+
+
+def _declared_kinds(file: SourceFile) -> set[str]:
+    """Top-level string constants and tuples/lists of them."""
+    kinds: set[str] = set()
+    for node in file.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            kinds.add(value.value)
+        elif isinstance(value, (ast.Tuple, ast.List)):
+            kinds.update(
+                el.value
+                for el in value.elts
+                if isinstance(el, ast.Constant) and isinstance(el.value, str)
+            )
+    return kinds
+
+
+def _kind_argument(node: ast.Call) -> ast.expr | None:
+    """The kind argument of an emission call, or None."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    else:
+        return None
+    if name == "DecisionEvent" or name.endswith(".DecisionEvent"):
+        position = 1  # DecisionEvent(time, kind, ...)
+    elif name in _EMITTERS:
+        position = _EMITTERS[name]
+    else:
+        return None
+    for keyword in node.keywords:
+        if keyword.arg == "kind":
+            return keyword.value
+    if len(node.args) > position:
+        return node.args[position]
+    return None
+
+
+def _literal_kinds(expr: ast.expr) -> list[tuple[str, ast.expr]]:
+    """String-literal kind values in an argument (both arms of a
+    conditional expression count); non-literals contribute nothing."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return [(expr.value, expr)]
+    if isinstance(expr, ast.IfExp):
+        return _literal_kinds(expr.body) + _literal_kinds(expr.orelse)
+    return []
+
+
+@register
+class EventKindsRule(Rule):
+    """Literal event kinds at emission sites must be declared in
+    :mod:`repro.control.events`."""
+
+    id = "event-kinds"
+    summary = "emitted event kind not declared in repro.control.events"
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        declared: set[str] | None = None
+        for file in index.files:
+            if file.module == _EVENTS_MODULE:
+                declared = _declared_kinds(file)
+                break
+        for file in index.files:
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                argument = _kind_argument(node)
+                if argument is None:
+                    continue
+                for kind, site in _literal_kinds(argument):
+                    if declared is None:
+                        yield self.violation(
+                            file.path, site.lineno, site.col_offset,
+                            f"event kind {kind!r} emitted but no "
+                            "repro/control/events.py declares the vocabulary "
+                            "in this tree",
+                        )
+                    elif kind not in declared:
+                        yield self.violation(
+                            file.path, site.lineno, site.col_offset,
+                            f"event kind {kind!r} is not declared in "
+                            "repro.control.events; of_kind() queries will "
+                            "never see it",
+                        )

@@ -1,0 +1,232 @@
+"""Ordering rule: no hash-order-dependent values at determinism sinks.
+
+Python's sets (and, before 3.7, dicts) iterate in hash order; dicts
+iterate in insertion order — which is itself a function of execution
+history. ``os.listdir`` returns directory order. Feeding any of these
+into a *determinism sink* — scheduling events, computing a digest,
+publishing on the control bus — makes the run's observable output a
+function of memory layout or filesystem state. The fix is always the
+same: wrap the iterable in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintpass.base import Rule, Violation, register
+from repro.lintpass.project import ProjectIndex, SourceFile, dotted_name
+
+__all__ = ["UnorderedIterRule"]
+
+#: Callable names whose presence makes a function a determinism sink.
+_SINK_NAMES = frozenset({
+    "publish",            # ControlBus publication
+    "heappush", "heappop",  # direct heap scheduling
+    "schedule", "schedule_after",  # simulator calendar
+    "content_digest", "canonical", "sha256", "hexdigest",  # digests
+})
+
+#: Filesystem enumerations with no order guarantee.
+_FS_CALLS = frozenset({"os.listdir", "os.scandir", "glob.glob", "glob.iglob"})
+
+#: Constructors that make a local/attribute name an unordered container.
+_UNORDERED_CTORS = frozenset({"set", "frozenset", "dict", "defaultdict",
+                              "Counter"})
+
+
+def _call_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return ""
+
+
+def _is_unordered_ctor(value: ast.expr) -> bool:
+    """True for ``{}``, ``set()``, ``dict(...)``, ``{a, b}``, etc."""
+    if isinstance(value, ast.Dict) or isinstance(value, ast.Set):
+        return True
+    if isinstance(value, (ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call) and _call_name(value) in _UNORDERED_CTORS:
+        return True
+    return False
+
+
+def _unordered_attrs(cls: ast.ClassDef) -> set[str]:
+    """``self.X`` attributes assigned an unordered container anywhere
+    in the class body (typically ``__init__``)."""
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not _is_unordered_ctor(value):
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs.add(target.attr)
+    return attrs
+
+
+def _unordered_locals(func: ast.AST) -> set[str]:
+    """Local names bound to an unordered container inside a function."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and _is_unordered_ctor(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and node.value is not None
+            and isinstance(node.target, ast.Name)
+            and _is_unordered_ctor(node.value)
+        ):
+            names.add(node.target.id)
+    return names
+
+
+def _is_sink_function(func: ast.AST) -> bool:
+    return any(
+        isinstance(node, ast.Call) and _call_name(node) in _SINK_NAMES
+        for node in ast.walk(func)
+    )
+
+
+def _iter_exprs(func: ast.AST) -> Iterator[tuple[ast.expr, ast.AST]]:
+    """Every iterated expression in a function with its owning
+    statement/expression: for-loops and the ``for ... in`` clauses of
+    comprehensions (owner = the comprehension expression itself)."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, node
+        elif isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp,
+                               ast.DictComp)):
+            for generator in node.generators:
+                yield generator.iter, node
+
+
+@register
+class UnorderedIterRule(Rule):
+    """Unordered iteration feeding a determinism sink, and unsorted
+    filesystem enumeration anywhere."""
+
+    id = "unordered-iter"
+    summary = "hash/insertion/filesystem-order iteration at a determinism sink"
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        for file in index.files:
+            yield from self._check_fs_calls(file)
+            yield from self._check_sinks(file)
+
+    # ------------------------------------------------------------------
+    def _check_fs_calls(self, file: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = dotted_name(node.func, file.aliases)
+            is_fs = resolved in _FS_CALLS or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "iterdir"
+            )
+            if not is_fs:
+                continue
+            parent = file.parents.get(node)
+            wrapped = (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id == "sorted"
+            )
+            if not wrapped:
+                label = resolved or "iterdir"
+                yield self.violation(
+                    file.path, node.lineno, node.col_offset,
+                    f"{label} returns entries in filesystem order; wrap it "
+                    "in sorted(...)",
+                )
+
+    # ------------------------------------------------------------------
+    def _check_sinks(self, file: SourceFile) -> Iterator[Violation]:
+        # Walk (class, function) pairs so self-attribute containers
+        # declared in __init__ are known in every method.
+        yield from self._walk_scope(file, file.tree, class_attrs=set())
+
+    def _walk_scope(
+        self, file: SourceFile, node: ast.AST, class_attrs: set[str]
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from self._walk_scope(
+                    file, child, class_attrs=_unordered_attrs(child)
+                )
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_sink_function(child):
+                    yield from self._check_function(file, child, class_attrs)
+                # Nested defs are walked by _check_function itself via
+                # ast.walk, so no recursion needed here.
+            else:
+                yield from self._walk_scope(file, child, class_attrs)
+
+    def _check_function(
+        self, file: SourceFile, func: ast.AST, class_attrs: set[str]
+    ) -> Iterator[Violation]:
+        local_unordered = _unordered_locals(func)
+        for expr, owner in _iter_exprs(func):
+            flagged = self._describe_unordered(expr, local_unordered,
+                                               class_attrs)
+            if flagged is not None and self._inside_sorted(file, owner):
+                flagged = None  # sorted(... for ... in d.items()) is ordered
+            if flagged is not None:
+                yield self.violation(
+                    file.path, expr.lineno, expr.col_offset,
+                    f"iteration over {flagged} in a function that feeds a "
+                    "determinism sink (publish/schedule/digest); wrap it in "
+                    "sorted(...)",
+                )
+
+    @staticmethod
+    def _inside_sorted(file: SourceFile, owner: ast.AST) -> bool:
+        """True when a comprehension is a direct argument of
+        ``sorted(...)`` (its output order is then well-defined)."""
+        if not isinstance(owner, (ast.GeneratorExp, ast.ListComp, ast.SetComp,
+                                  ast.DictComp)):
+            return False
+        parent = file.parents.get(owner)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id == "sorted"
+        )
+
+    @staticmethod
+    def _describe_unordered(
+        expr: ast.expr, local_unordered: set[str], class_attrs: set[str]
+    ) -> str | None:
+        """A human label when ``expr`` is an unordered iterable, else None."""
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            if expr.func.attr in ("keys", "values", "items"):
+                return f"a dict .{expr.func.attr}() view"
+        if isinstance(expr, ast.Name) and expr.id in local_unordered:
+            return f"unordered container {expr.id!r}"
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in class_attrs
+        ):
+            return f"unordered container 'self.{expr.attr}'"
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        return None

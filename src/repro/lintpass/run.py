@@ -1,0 +1,81 @@
+"""The lint driver: build the index, run the rules, apply suppressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import LintError
+from repro.lintpass.base import SUPPRESS_ALL, Violation, all_rules
+from repro.lintpass.project import ProjectIndex
+
+__all__ = ["LintReport", "run_lint"]
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    roots: tuple[str, ...]
+    files_checked: int
+    violations: tuple[Violation, ...]
+    #: violations silenced by per-line ignore comments
+    suppressed: tuple[Violation, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def _validate_suppressions(index: ProjectIndex, known: Iterable[str]) -> None:
+    valid = set(known) | {SUPPRESS_ALL}
+    for file in index.files:
+        for line, ids in sorted(file.suppressed.items()):
+            unknown = sorted(ids - valid)
+            if unknown:
+                raise LintError(
+                    f"{file.path}:{line}: unknown rule id(s) in suppression: "
+                    f"{', '.join(unknown)} (known: {', '.join(sorted(known))})"
+                )
+
+
+def run_lint(
+    paths: Sequence[str], rules: Sequence[str] | None = None
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths``.
+
+    ``rules`` selects a subset by id (default: all registered rules);
+    an unknown id raises :class:`~repro.errors.LintError`. Suppression
+    comments are validated against the *full* registry even when only a
+    subset runs, so a typoed slug never silently suppresses nothing.
+    """
+    registry = all_rules()
+    if rules is None:
+        selected = sorted(registry)
+    else:
+        unknown = sorted(set(rules) - set(registry))
+        if unknown:
+            raise LintError(
+                f"unknown rule id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(registry))})"
+            )
+        selected = sorted(set(rules))
+    index = ProjectIndex.build(list(paths))
+    _validate_suppressions(index, registry)
+    by_path = {file.path: file for file in index.files}
+    active: list[Violation] = []
+    suppressed: list[Violation] = []
+    for rule_id in selected:
+        rule = registry[rule_id]()
+        for violation in rule.check(index):
+            file = by_path[violation.path]
+            if file.is_suppressed(violation.line, violation.rule):
+                suppressed.append(violation)
+            else:
+                active.append(violation)
+    return LintReport(
+        roots=tuple(paths),
+        files_checked=len(index.files),
+        violations=tuple(sorted(active)),
+        suppressed=tuple(sorted(suppressed)),
+    )

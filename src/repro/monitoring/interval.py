@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.ntier.server import Server
-from repro.sim.engine import Simulator
+from repro.sim.engine import PRIORITY_FINE_MONITOR, Simulator
 from repro.sim.process import PeriodicProcess
 
 __all__ = ["IntervalSample", "IntervalMonitor"]
@@ -71,7 +71,9 @@ class IntervalMonitor:
         self._prev_util = dict(server.util_integral)
         self._prev_t = sim.now
         self._suspended = False
-        self._process = PeriodicProcess(sim, self.interval, self._tick)
+        self._process = PeriodicProcess(
+            sim, self.interval, self._tick, priority=PRIORITY_FINE_MONITOR
+        )
 
     def stop(self) -> None:
         """Stop sampling (existing samples remain readable)."""

@@ -21,7 +21,7 @@ from repro.control.events import TelemetryEvent
 from repro.errors import MonitoringError
 from repro.monitoring.interval import IntervalMonitor, IntervalSample
 from repro.ntier.server import Server
-from repro.sim.engine import Simulator
+from repro.sim.engine import PRIORITY_WAREHOUSE, Simulator
 from repro.sim.process import PeriodicProcess
 
 __all__ = ["VmSample", "MetricWarehouse"]
@@ -79,7 +79,9 @@ class MetricWarehouse:
         # Tiers currently in a telemetry blackout ("*" = every tier).
         self._blackout: set[str] = set()
         self._last_sample_t: dict[str, float] = {}  # tier -> newest t_end
-        self._process = PeriodicProcess(sim, self.tick, self._collect)
+        self._process = PeriodicProcess(
+            sim, self.tick, self._collect, priority=PRIORITY_WAREHOUSE
+        )
 
     # ------------------------------------------------------------------
     # registration (called as VMs come and go)
@@ -181,7 +183,11 @@ class MetricWarehouse:
     # ------------------------------------------------------------------
     def _collect(self, now: float) -> None:
         publish = self.bus is not None and self.bus.has_subscribers(TelemetryEvent)
-        for state in self._states.values():
+        # Name-sorted so the per-tick sample/publication order is a
+        # function of the fleet, not of registration order (which the
+        # tie-order of concurrent bootstrap/scale-out completions sets).
+        for name in sorted(self._states):
+            state = self._states[name]
             server = state.server
             server.sync_monitors()
             dt = now - state.prev_t
@@ -266,9 +272,9 @@ class MetricWarehouse:
     ) -> dict[str, list[IntervalSample]]:
         """Fine-grained tuples of every monitored server in a tier."""
         return {
-            name: state.fine.recent(window)
-            for name, state in self._states.items()
-            if state.server.tier == tier
+            name: self._states[name].fine.recent(window)
+            for name in sorted(self._states)
+            if self._states[name].server.tier == tier
         }
 
     def all_fine_samples(
@@ -281,6 +287,7 @@ class MetricWarehouse:
         simulator underneath it) can be dropped entirely.
         """
         return {
-            name: (state.server.tier, state.fine.recent(window))
-            for name, state in self._states.items()
+            name: (self._states[name].server.tier,
+                   self._states[name].fine.recent(window))
+            for name in sorted(self._states)
         }

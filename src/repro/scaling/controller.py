@@ -7,7 +7,7 @@ from repro.control.events import NOOP, THRESHOLD_TRIP, DecisionEvent
 from repro.monitoring.warehouse import MetricWarehouse
 from repro.scaling.actuator import Actuator
 from repro.scaling.policy import ThresholdPolicy, TierPolicyConfig
-from repro.sim.engine import Simulator
+from repro.sim.engine import PRIORITY_CONTROLLER, Simulator
 from repro.sim.process import PeriodicProcess
 
 __all__ = ["BaseController"]
@@ -47,7 +47,9 @@ class BaseController:
         }
         self.policy = ThresholdPolicy(sim, warehouse, actuator, configs)
         actuator.on_hardware_change(self._hardware_changed)
-        self._process = PeriodicProcess(sim, tick, self._tick)
+        self._process = PeriodicProcess(
+            sim, tick, self._tick, priority=PRIORITY_CONTROLLER
+        )
 
     def stop(self) -> None:
         """Stop the decision loop."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import EstimationError
+from repro.rng import RngRegistry
 from repro.sct.model import SCTModel
 from repro.sct.tuples import MetricTuple
 
@@ -62,7 +63,10 @@ def bootstrap_q_lower(
     if n_resamples < 10:
         raise EstimationError(f"n_resamples must be >= 10, got {n_resamples!r}")
     model = model or SCTModel()
-    rng = rng if rng is not None else np.random.default_rng(0)
+    # The default stream flows through RngRegistry like every other
+    # stochastic draw, so resampling noise is pinned by the same
+    # seed-derivation scheme as the rest of an experiment.
+    rng = rng if rng is not None else RngRegistry(0).stream("sct.bootstrap")
     point = model.estimate(tuples).q_lower  # raises if impossible
 
     n = len(tuples)

@@ -5,10 +5,43 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
-from repro.errors import ScheduleError, SimulationError
+from repro.errors import ConfigurationError, ScheduleError, SimulationError
 from repro.sim.event import EventHandle
 
-__all__ = ["Simulator"]
+__all__ = [
+    "Simulator",
+    "TIE_ORDERS",
+    "PRIORITY_MODEL",
+    "PRIORITY_WAREHOUSE",
+    "PRIORITY_CONTROLLER",
+    "PRIORITY_SAMPLER",
+    "PRIORITY_FINE_MONITOR",
+]
+
+# ----------------------------------------------------------------------
+# event priorities
+# ----------------------------------------------------------------------
+# Same-timestamp events execute in ascending priority; events sharing a
+# (time, priority) pair are *concurrent* and must be order-independent
+# (the ``tie_order="reverse"`` debug mode permutes exactly those — see
+# the tie-order race detector in repro.experiments.racecheck). The
+# layering encodes the causal phases of one simulated instant: the model
+# mutates state, the warehouse aggregates it, controllers act on the
+# aggregates, and samplers record the settled picture.
+
+#: Model/mutator events: arrivals, completions, launches, faults.
+PRIORITY_MODEL = 0
+#: The metric warehouse's 1 s collection tick.
+PRIORITY_WAREHOUSE = 10
+#: Controller decision ticks (read telemetry, command the actuator).
+PRIORITY_CONTROLLER = 20
+#: End-of-instant samplers (e.g. the runner's VM-count sampler).
+PRIORITY_SAMPLER = 30
+#: Fine-grained (50 ms) per-server interval monitors.
+PRIORITY_FINE_MONITOR = 40
+
+#: Recognised tie-break orders for same-(time, priority) event batches.
+TIE_ORDERS = ("fifo", "reverse")
 
 
 class Simulator:
@@ -20,11 +53,24 @@ class Simulator:
         sim.schedule(1.5, my_callback, arg1, arg2)
         sim.run(until=100.0)
 
-    Callbacks run in (time, schedule-order) order. The clock only moves
-    forward; scheduling in the past raises :class:`ScheduleError`.
+    Callbacks run in (time, priority, schedule-order) order. The clock
+    only moves forward; scheduling in the past raises
+    :class:`ScheduleError`.
+
+    ``tie_order`` selects how events sharing a (time, priority) pair are
+    sequenced: ``"fifo"`` (default) preserves schedule order, while
+    ``"reverse"`` — the race-detector debug mode — executes each such
+    *concurrent batch* in reversed schedule order. Any observable
+    difference between the two orders is a tie-order race: state that
+    depends on the scheduling accident of which concurrent event ran
+    first.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, *, tie_order: str = "fifo") -> None:
+        if tie_order not in TIE_ORDERS:
+            raise ConfigurationError(
+                f"tie_order must be one of {TIE_ORDERS}, got {tie_order!r}"
+            )
         self._now = float(start_time)
         self._heap: list[EventHandle] = []
         self._seq = 0
@@ -32,6 +78,9 @@ class Simulator:
         self._stopped = False
         self._executed = 0
         self._live = 0  # non-cancelled events still in the calendar
+        self._tie_order = tie_order
+        self._tie_batches = 0  # concurrent batches (>1 event) observed
+        self._tie_events = 0  # events executed inside such batches
 
     # ------------------------------------------------------------------
     # clock
@@ -57,6 +106,26 @@ class Simulator:
         """
         return self._live
 
+    @property
+    def tie_order(self) -> str:
+        """The tie-break order this simulator runs under."""
+        return self._tie_order
+
+    @property
+    def tie_batches(self) -> int:
+        """Concurrent same-(time, priority) batches executed so far.
+
+        Only counted in ``tie_order="reverse"`` mode (the batch loop is
+        the only loop that materialises batches); the fast FIFO loop
+        reports 0.
+        """
+        return self._tie_batches
+
+    @property
+    def tie_events(self) -> int:
+        """Events executed inside concurrent batches (reverse mode only)."""
+        return self._tie_events
+
     def event_cancelled(self) -> None:
         """Counter hook for :meth:`EventHandle.cancel` (lazy removal
         keeps the entry in the heap, so the count must drop here)."""
@@ -66,29 +135,43 @@ class Simulator:
     # scheduling
     # ------------------------------------------------------------------
     def schedule(
-        self, time: float, callback: Callable[..., None], *args: Any
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_MODEL,
     ) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute ``time``.
 
-        Returns a handle that may be cancelled before it fires.
+        ``priority`` orders same-timestamp events (lower runs first);
+        components that *observe* model state should run at an observer
+        priority so their reads do not race model mutations scheduled
+        for the same instant. Returns a handle that may be cancelled
+        before it fires.
         """
         if time < self._now:
             raise ScheduleError(
                 f"cannot schedule at t={time:.6f}: clock is at t={self._now:.6f}"
             )
-        handle = EventHandle(time, self._seq, callback, args, owner=self)
+        handle = EventHandle(
+            time, self._seq, callback, args, owner=self, priority=priority
+        )
         self._seq += 1
         heapq.heappush(self._heap, handle)
         self._live += 1
         return handle
 
     def schedule_after(
-        self, delay: float, callback: Callable[..., None], *args: Any
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_MODEL,
     ) -> EventHandle:
         """Schedule ``callback(*args)`` after a relative ``delay`` >= 0."""
         if delay < 0:
             raise ScheduleError(f"negative delay {delay!r}")
-        return self.schedule(self._now + delay, callback, *args)
+        return self.schedule(self._now + delay, callback, *args, priority=priority)
 
     # ------------------------------------------------------------------
     # run loop
@@ -105,31 +188,96 @@ class Simulator:
             raise SimulationError("run() re-entered; the simulator is not reentrant")
         self._running = True
         self._stopped = False
-        budget = max_events if max_events is not None else -1
-        heap = self._heap
         try:
-            while heap and not self._stopped:
-                ev = heap[0]
-                if ev.cancelled:
-                    heapq.heappop(heap)
-                    ev.done = True
-                    continue
-                if until is not None and ev.time > until:
-                    break
-                heapq.heappop(heap)
-                ev.done = True
-                self._live -= 1
-                self._now = ev.time
-                ev.callback(*ev.args)
-                self._executed += 1
-                if budget > 0:
-                    budget -= 1
-                    if budget == 0:
-                        break
+            if self._tie_order == "reverse":
+                self._run_permuted(until, max_events)
+            else:
+                self._run_fifo(until, max_events)
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
             self._now = until
+
+    def _run_fifo(self, until: float | None, max_events: int | None) -> None:
+        """The hot loop: one event at a time, strict heap order."""
+        budget = max_events if max_events is not None else -1
+        heap = self._heap
+        while heap and not self._stopped:
+            ev = heap[0]
+            if ev.cancelled:
+                heapq.heappop(heap)
+                ev.done = True
+                continue
+            if until is not None and ev.time > until:
+                break
+            heapq.heappop(heap)
+            ev.done = True
+            self._live -= 1
+            self._now = ev.time
+            ev.callback(*ev.args)
+            self._executed += 1
+            if budget > 0:
+                budget -= 1
+                if budget == 0:
+                    break
+
+    def _run_permuted(self, until: float | None, max_events: int | None) -> None:
+        """Race-check loop: drain one concurrent batch at a time.
+
+        A *batch* is every currently pending event sharing the heap
+        head's (time, priority). The batch executes in reversed schedule
+        order — the adversarial permutation — while events scheduled
+        *during* the batch (even at the same instant) land in a later
+        batch, exactly as they would run after their creators in FIFO
+        order. Causal order is therefore preserved; only the arbitrary
+        interleaving of concurrent events changes.
+        """
+        budget = max_events if max_events is not None else -1
+        heap = self._heap
+        while heap and not self._stopped:
+            head = heap[0]
+            if head.cancelled:
+                heapq.heappop(heap)
+                head.done = True
+                continue
+            if until is not None and head.time > until:
+                break
+            batch_time = head.time
+            batch_priority = head.priority
+            batch: list[EventHandle] = []
+            while (
+                heap
+                and heap[0].time == batch_time
+                and heap[0].priority == batch_priority
+            ):
+                ev = heapq.heappop(heap)
+                if ev.cancelled:
+                    ev.done = True
+                    continue
+                batch.append(ev)
+            if len(batch) > 1:
+                self._tie_batches += 1
+                self._tie_events += len(batch)
+            batch.reverse()
+            self._now = batch_time
+            for pos, ev in enumerate(batch):
+                if ev.cancelled:
+                    # Cancelled by an earlier batch member after the pop;
+                    # cancel() already dropped the live counter.
+                    ev.done = True
+                    continue
+                ev.done = True
+                self._live -= 1
+                ev.callback(*ev.args)
+                self._executed += 1
+                if budget > 0:
+                    budget -= 1
+                if budget == 0 or self._stopped:
+                    # Put the unexecuted tail back on the calendar.
+                    for rest in batch[pos + 1:]:
+                        if not rest.cancelled:
+                            heapq.heappush(heap, rest)
+                    return
 
     def stop(self) -> None:
         """Request the run loop to stop after the current callback."""

@@ -21,7 +21,10 @@ class EventHandle:
     against cancel-after-fire and double-cancel.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "done", "owner")
+    __slots__ = (
+        "time", "priority", "seq", "callback", "args", "cancelled", "done",
+        "owner",
+    )
 
     def __init__(
         self,
@@ -30,8 +33,10 @@ class EventHandle:
         callback: Callable[..., None],
         args: tuple[Any, ...],
         owner: Any = None,
+        priority: int = 0,
     ) -> None:
         self.time = time
+        self.priority = priority
         self.seq = seq
         self.callback = callback
         self.args = args
@@ -48,14 +53,21 @@ class EventHandle:
         if self.owner is not None:
             self.owner.event_cancelled()
 
-    # Heap ordering: by time, ties broken by schedule order so that the
-    # simulation is fully deterministic.
+    # Heap ordering: by time, then priority (mutators before observers),
+    # then schedule order — so the simulation is fully deterministic.
+    # Events sharing (time, priority) are *concurrent*: no component may
+    # depend on their relative order, and the race-check run mode
+    # (``Simulator(tie_order="reverse")``) permutes exactly those.
     def __lt__(self, other: "EventHandle") -> bool:
         if self.time != other.time:
             return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
         return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
         name = getattr(self.callback, "__qualname__", repr(self.callback))
-        return f"EventHandle(t={self.time:.6f}, {name}, {state})"
+        return (
+            f"EventHandle(t={self.time:.6f}, p={self.priority}, {name}, {state})"
+        )

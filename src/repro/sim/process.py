@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import ConfigurationError
-from repro.sim.engine import Simulator
+from repro.sim.engine import PRIORITY_MODEL, Simulator
 from repro.sim.event import EventHandle
 
 __all__ = ["PeriodicProcess"]
@@ -19,6 +19,11 @@ class PeriodicProcess:
     window every 50 ms. The callback receives the simulator time of the
     tick.
 
+    ``priority`` orders the tick among same-timestamp events (see the
+    priority constants in :mod:`repro.sim.engine`): monitoring and
+    sampling processes observe model state, so they tick at an observer
+    priority rather than racing the mutations they measure.
+
     The process schedules its next tick *before* invoking the callback,
     so a callback that raises does not silently kill the process chain
     during debugging runs, and stopping from inside the callback works.
@@ -31,16 +36,18 @@ class PeriodicProcess:
         callback: Callable[[float], None],
         *,
         start_at: float | None = None,
+        priority: int = PRIORITY_MODEL,
     ) -> None:
         if interval <= 0:
             raise ConfigurationError(f"interval must be positive, got {interval!r}")
         self._sim = sim
         self._interval = float(interval)
         self._callback = callback
+        self._priority = priority
         self._handle: EventHandle | None = None
         self._stopped = False
         first = start_at if start_at is not None else sim.now + interval
-        self._handle = sim.schedule(first, self._tick)
+        self._handle = sim.schedule(first, self._tick, priority=priority)
 
     @property
     def interval(self) -> float:
@@ -55,7 +62,9 @@ class PeriodicProcess:
     def _tick(self) -> None:
         if self._stopped:
             return
-        self._handle = self._sim.schedule_after(self._interval, self._tick)
+        self._handle = self._sim.schedule_after(
+            self._interval, self._tick, priority=self._priority
+        )
         self._callback(self._sim.now)
 
     def stop(self) -> None:

@@ -1,0 +1,25 @@
+"""Fixture: a digest method that misses fields.
+
+``MiniSpec.digest`` covers name and seed but not ``scale``;
+``WideSpec`` adds ``duration`` while inheriting the stale digest — the
+classic way a content-addressed cache starts aliasing distinct specs.
+"""
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MiniSpec:
+    name: str
+    seed: int
+    scale: float
+
+    def digest(self) -> str:
+        payload = f"{self.name}:{self.seed}"
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class WideSpec(MiniSpec):
+    duration: float = 0.0

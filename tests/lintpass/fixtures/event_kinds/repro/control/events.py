@@ -1,0 +1,5 @@
+"""Fixture vocabulary: the declared event kinds."""
+
+SCALE_OUT = "scale_out"
+
+KINDS = ("scale_out", "scale_in")

@@ -1,0 +1,13 @@
+"""Fixture: emission sites with no events module in the tree at all."""
+
+
+class Emitter:
+    def __init__(self, bus) -> None:
+        self.bus = bus
+
+    def _emit(self, kind: str) -> None:
+        self.bus.publish(kind)
+
+    def act(self) -> None:
+        self._emit("scale_in")
+        self._emit("scale_sideways")

@@ -1,0 +1,15 @@
+"""Fixture: frozen-dataclass mutation inside and outside __post_init__."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Episode:
+    kind: str
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "count", max(0, self.count))
+
+    def bump(self) -> None:
+        object.__setattr__(self, "count", self.count + 1)

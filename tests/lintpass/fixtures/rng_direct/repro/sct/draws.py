@@ -1,0 +1,8 @@
+"""Fixture: mints an RNG outside the registry (rng-direct)."""
+
+import numpy as np
+
+
+def jitter() -> float:
+    rng = np.random.default_rng(7)
+    return float(rng.random())

@@ -1,0 +1,7 @@
+"""Fixture: a wall-clock read with a justified per-line suppression."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: ignore[wall-clock]

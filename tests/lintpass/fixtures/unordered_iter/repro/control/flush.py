@@ -1,0 +1,11 @@
+"""Fixture: hash-order iteration feeding bus publication."""
+
+
+class Flusher:
+    def __init__(self, bus) -> None:
+        self.bus = bus
+        self.pending = {}
+
+    def flush(self) -> None:
+        for name in self.pending:
+            self.bus.publish(name)

@@ -1,0 +1,7 @@
+"""Fixture: filesystem-order directory enumeration (no sorted)."""
+
+import os
+
+
+def entries(path: str) -> list[str]:
+    return os.listdir(path)

@@ -1,0 +1,7 @@
+"""Fixture: reads the host clock inside a simulation package."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

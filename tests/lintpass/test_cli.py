@@ -1,0 +1,61 @@
+"""The ``repro lint`` CLI: exit codes, JSON schema, default target."""
+
+import json
+import os
+
+from repro.cli import main
+from repro.lintpass.report import JSON_SCHEMA_VERSION
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def test_clean_tree_exits_zero(capsys):
+    rc = main(["lint", os.path.join(FIXTURES, "suppressed")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "clean: 0 violations" in out
+    assert "(1 suppressed)" in out
+
+
+def test_violations_exit_one_and_list_positions(capsys):
+    target = os.path.join(FIXTURES, "wall_clock")
+    rc = main(["lint", target])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "[wall-clock]" in out
+    assert "timing.py:7:" in out
+
+
+def test_default_target_is_the_package(capsys):
+    rc = main(["lint"])
+    out = capsys.readouterr().out
+    assert rc == 0, out  # the shipped tree must be clean
+
+
+def test_json_schema(capsys):
+    target = os.path.join(FIXTURES, "wall_clock")
+    rc = main(["lint", "--json", target])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["root"] == [target]
+    assert payload["files_checked"] >= 1
+    assert payload["counts"] == {"wall-clock": 1}
+    (violation,) = payload["violations"]
+    assert set(violation) == {"rule", "path", "line", "col", "message"}
+    assert violation["rule"] == "wall-clock"
+    assert violation["path"].endswith("timing.py")
+
+
+def test_rules_subset_flag(capsys):
+    target = os.path.join(FIXTURES, "wall_clock")
+    assert main(["lint", "--rules", "rng-direct", target]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--rules", "wall-clock,rng-direct", target]) == 1
+
+
+def test_unknown_rule_flag_exits_two(capsys):
+    rc = main(["lint", "--rules", "bogus", FIXTURES])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "unknown rule id" in err

@@ -1,0 +1,145 @@
+"""One fixture tree per lint rule: each must fire exactly where planted.
+
+The fixtures under ``fixtures/<case>/repro/...`` mirror the real
+package layout so package-scoped rules (wall-clock, rng-direct) apply
+to them exactly as they do to ``src/repro``.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import LintError
+from repro.lintpass import all_rules, run_lint
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def lint(case: str, rules=None):
+    return run_lint([os.path.join(FIXTURES, case)], rules=rules)
+
+
+def rules_fired(report) -> set[str]:
+    return {v.rule for v in report.violations}
+
+
+def test_registry_has_all_six_rules():
+    assert set(all_rules()) == {
+        "rng-direct", "wall-clock", "unordered-iter", "digest-coverage",
+        "event-kinds", "frozen-mutate",
+    }
+
+
+def test_rng_direct_fixture():
+    report = lint("rng_direct")
+    assert rules_fired(report) == {"rng-direct"}
+    assert len(report.violations) == 1
+    assert "numpy.random.default_rng" in report.violations[0].message
+
+
+def test_rng_registry_itself_is_exempt():
+    # The registry module is the one place allowed to touch the raw RNG.
+    import repro
+
+    rng_py = os.path.join(os.path.dirname(os.path.abspath(repro.__file__)),
+                          "rng.py")
+    report = run_lint([rng_py], rules=["rng-direct"])
+    assert report.violations == ()
+
+
+def test_wall_clock_fixture():
+    report = lint("wall_clock")
+    assert rules_fired(report) == {"wall-clock"}
+    assert "time.time" in report.violations[0].message
+
+
+def test_unordered_iter_fixture():
+    report = lint("unordered_iter")
+    assert rules_fired(report) == {"unordered-iter"}
+    messages = [v.message for v in report.violations]
+    assert any("self.pending" in m for m in messages), messages
+    assert any("os.listdir" in m for m in messages), messages
+
+
+def test_digest_coverage_fixture_catches_missing_and_inherited_fields():
+    report = lint("digest_coverage")
+    assert rules_fired(report) == {"digest-coverage"}
+    by_class = {
+        "MiniSpec": [v for v in report.violations if "'MiniSpec'" in v.message],
+        "WideSpec": [v for v in report.violations if "'WideSpec'" in v.message],
+    }
+    # The base class digest misses its own `scale` field...
+    assert len(by_class["MiniSpec"]) == 1
+    assert "scale" in by_class["MiniSpec"][0].message
+    # ...and the subclass that added `duration` while inheriting the
+    # stale digest is caught too (the regression this rule exists for).
+    assert len(by_class["WideSpec"]) == 1
+    assert "duration" in by_class["WideSpec"][0].message
+    assert "inherited" in by_class["WideSpec"][0].message
+
+
+def test_event_kinds_fixture():
+    report = lint("event_kinds")
+    assert rules_fired(report) == {"event-kinds"}
+    assert len(report.violations) == 1
+    assert "'scale_sideways'" in report.violations[0].message
+
+
+def test_event_kinds_without_events_module_flags_every_kind():
+    report = lint("event_kinds_missing")
+    assert rules_fired(report) == {"event-kinds"}
+    assert len(report.violations) == 2  # both literals, declared one included
+
+
+def test_frozen_mutate_fixture_allows_post_init():
+    report = lint("frozen_mutate")
+    assert rules_fired(report) == {"frozen-mutate"}
+    assert len(report.violations) == 1  # bump() only, not __post_init__
+    assert report.violations[0].line > 10
+
+
+def test_suppression_comment_silences_and_is_reported():
+    report = lint("suppressed")
+    assert report.clean
+    assert len(report.suppressed) == 1
+    assert report.suppressed[0].rule == "wall-clock"
+
+
+def test_rule_subset_selection():
+    report = lint("wall_clock", rules=["rng-direct"])
+    assert report.clean  # the wall-clock violation is outside the subset
+
+
+def test_unknown_rule_selection_raises():
+    with pytest.raises(LintError, match="unknown rule id"):
+        lint("wall_clock", rules=["no-such-rule"])
+
+
+def test_unknown_suppression_slug_raises(tmp_path):
+    bad = tmp_path / "repro" / "sim"
+    bad.mkdir(parents=True)
+    (bad / "x.py").write_text(
+        "import time\n\n\n"
+        "def stamp() -> float:\n"
+        "    return time.time()  # repro-lint: ignore[wallclock-typo]\n"
+    )
+    with pytest.raises(LintError, match="wallclock-typo"):
+        run_lint([str(tmp_path)])
+
+
+def test_missing_path_raises():
+    with pytest.raises(LintError, match="no such file"):
+        run_lint([os.path.join(FIXTURES, "does_not_exist")])
+
+
+def test_source_tree_is_clean():
+    """The repo's own package must pass its own gate."""
+    import repro
+
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    report = run_lint([package_dir])
+    assert report.violations == (), "\n".join(
+        v.render() for v in report.violations
+    )
+    # The one known justified suppression: the RunSpec digest memo.
+    assert any(v.rule == "frozen-mutate" for v in report.suppressed)

@@ -57,7 +57,11 @@ def run_lifecycle(framework: str, high_until: float = 8.0, until: float = 30.0):
     factory = ServerFactory(sim)
     for tier in (WEB, APP, DB):
         factory.set_template(tier, simple_capacity(1000), soft.for_tier(tier))
-    hypervisor = Hypervisor(sim, prep_period=1.0)
+    # 1.5 s prep: provisioning genuinely spans a decision tick, so the
+    # in-flight guard is observable. (With a prep that lands exactly on
+    # a tick instant, the completion — a model-priority event — settles
+    # before the controller's same-instant tick reads the state.)
+    hypervisor = Hypervisor(sim, prep_period=1.5)
     warehouse = MetricWarehouse(sim)
     actuator = Actuator(sim, app, hypervisor, factory, warehouse)
     for tier in (WEB, APP, DB):
