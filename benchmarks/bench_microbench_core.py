@@ -3,16 +3,38 @@
 These are conventional pytest-benchmark timings (many rounds) of the
 hot paths that determine how large an evaluation run the harness can
 afford: the event calendar, the PS server, and the SCT estimation.
+
+The calendar suite (``test_calendar_*``) drives the shared
+:mod:`core_workloads` — chained dispatch and PS-style reschedule churn
+over a large standing backlog — through all three engines (wheel, heap,
+and the preserved pre-overhaul legacy loop), then
+``test_core_baseline_emission`` writes the measured events/sec plus a
+machine-normalisation spin score to ``results/BENCH_core.json``. The
+committed copy at ``benchmarks/BENCH_core.json`` is the baseline the CI
+perf smoke (``benchmarks/perf_smoke.py``) guards against.
 """
 
-import numpy as np
+import gc
+import json
+import os
 
+import numpy as np
+import pytest
+
+from core_workloads import ENGINES, WORKLOADS, build_payload, spin_score
 from repro.ntier.capacity import CapacityModel, ContentionModel, Resource
 from repro.ntier.request import Request
 from repro.ntier.server import Server, ServerConfig
 from repro.sct.model import SCTModel
 from repro.sct.tuples import MetricTuple
 from repro.sim.engine import Simulator
+
+#: Timed rounds per calendar bench (best-of is what gets recorded).
+CORE_ROUNDS = max(1, int(os.environ.get("REPRO_BENCH_CORE_ROUNDS", "3")))
+
+#: events/sec per (workload, engine), filled by the calendar benches and
+#: consumed by the baseline-emission test at the end of the module.
+_CORE_RATES: dict[tuple[str, str], tuple[int, float]] = {}
 
 
 def test_engine_event_throughput(benchmark):
@@ -54,6 +76,60 @@ def test_ps_server_churn(benchmark):
         return server.completions
 
     assert benchmark(run) == 2_000
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_calendar_workload_throughput(benchmark, workload, engine):
+    """Events/sec of one engine on one core workload.
+
+    The staged workload runs exactly once per round: ``setup`` rebuilds
+    the backlog-loaded simulator outside the timer, the timed thunk
+    dispatches it. Covers the chained-event benchmark and the
+    calendar-churn benchmark across wheel, heap, and legacy engines.
+    """
+    prep = WORKLOADS[workload]
+
+    def setup():
+        staged = prep(engine)
+        gc.collect()
+        return (staged,), {}
+
+    n = benchmark.pedantic(
+        lambda staged: staged(), setup=setup, rounds=CORE_ROUNDS, iterations=1
+    )
+    assert n > 0
+    rate = n / benchmark.stats.stats.min
+    _CORE_RATES[(workload, engine)] = (n, rate)
+    benchmark.extra_info["events_per_sec"] = round(rate)
+
+
+def test_core_baseline_emission(results_dir):
+    """Write ``results/BENCH_core.json`` from the rates measured above.
+
+    The wheel must beat the legacy engine on both workloads (the >= 5x
+    claim itself is recorded in the JSON rather than asserted, so a
+    noisy CI runner cannot turn a measurement into a flake).
+    """
+    expected = len(ENGINES) * len(WORKLOADS)
+    if len(_CORE_RATES) < expected:
+        pytest.skip("calendar throughput benches did not all run")
+    measured = {
+        wl: {
+            "events": _CORE_RATES[(wl, ENGINES[0])][0],
+            **{f"rate_{e}": _CORE_RATES[(wl, e)][1] for e in ENGINES},
+        }
+        for wl in sorted(WORKLOADS)
+    }
+    payload = build_payload(measured, spin_score())
+    out_path = os.path.join(results_dir, "BENCH_core.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, entry in payload["workloads"].items():
+        speedup = entry["speedup_wheel_vs_legacy"]
+        print(f"BENCH_core {name}: {entry['rates']} speedup={speedup}x")
+        assert speedup > 1.0, f"wheel slower than legacy on {name}"
 
 
 def test_sct_estimation_cost(benchmark):

@@ -25,9 +25,14 @@ Environment knobs:
 from __future__ import annotations
 
 import os
+import sys
 import time
 
 import pytest
+
+# Make sibling helper modules (core_workloads) importable regardless of
+# how pytest resolves rootdir/importmode for this non-package directory.
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from repro.experiments.backends import make_backend
 from repro.experiments.engine import DEFAULT_CACHE_DIR, ExperimentEngine

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Perf smoke guard: fail CI when engine throughput regresses.
+
+Re-measures the *wheel* engine on the two core workloads (chained
+dispatch and reschedule churn, see :mod:`core_workloads`) and compares
+events/sec against the committed baseline ``benchmarks/BENCH_core.json``.
+Because CI runners and developer machines differ in raw speed, both the
+baseline and the fresh measurement carry a pure-Python *spin score*;
+the fresh rate is scaled by ``baseline_spin / current_spin`` before the
+comparison, so only relative engine slowdowns — not slow hardware —
+trip the guard.
+
+Exit status 1 when any workload's normalised rate falls more than
+``--tolerance`` (default 30%) below the baseline.
+
+``--record`` instead re-measures *all* engines and rewrites the
+baseline file — run it on a quiet machine when the engine legitimately
+changes speed.
+
+Usage::
+
+    python benchmarks/perf_smoke.py --baseline benchmarks/BENCH_core.json
+    python benchmarks/perf_smoke.py --record   # refresh the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from core_workloads import (  # noqa: E402
+    WORKLOADS,
+    record_baseline,
+    spin_score,
+)
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_core.json"
+)
+
+
+def measure_wheel(workload: str, rounds: int) -> tuple[int, float]:
+    """Best-of-``rounds`` (events, events/sec) for the wheel engine."""
+    prep = WORKLOADS[workload]
+    best = float("inf")
+    events = 0
+    for _ in range(rounds):
+        staged = prep("wheel")
+        gc.collect()
+        t0 = time.perf_counter()
+        events = staged()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    return events, events / best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline JSON path (default: committed baseline)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timed rounds per workload, best-of (default 3)")
+    parser.add_argument("--record", action="store_true",
+                        help="re-measure all engines and rewrite the baseline")
+    args = parser.parse_args(argv)
+
+    if args.record:
+        payload = record_baseline(args.baseline, rounds=args.rounds)
+        for name, entry in payload["workloads"].items():
+            print(f"recorded {name}: {entry['rates']} "
+                  f"speedup={entry.get('speedup_wheel_vs_legacy')}x")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    base_spin = float(baseline["spin_score"])
+    spin = spin_score()
+    scale = base_spin / spin
+    print(f"spin: baseline {base_spin:.0f} ops/s, here {spin:.0f} ops/s "
+          f"(normalising by {scale:.2f}x)")
+
+    failed = False
+    for name, entry in sorted(baseline["workloads"].items()):
+        if name not in WORKLOADS:
+            print(f"SKIP {name}: workload no longer exists")
+            continue
+        base_rate = float(entry["rates"]["wheel"])
+        events, rate = measure_wheel(name, args.rounds)
+        normalised = rate * scale
+        floor = base_rate * (1.0 - args.tolerance)
+        verdict = "ok" if normalised >= floor else "REGRESSION"
+        print(f"{name:8s} {events} events  {rate/1000:9.1f}k ev/s raw  "
+              f"{normalised/1000:9.1f}k normalised  "
+              f"baseline {base_rate/1000:9.1f}k  floor {floor/1000:9.1f}k  "
+              f"-> {verdict}")
+        if normalised < floor:
+            failed = True
+    if failed:
+        print("perf smoke FAILED: wheel engine regressed beyond tolerance")
+        return 1
+    print("perf smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,11 @@ Commands:
 
 ``run --race-check`` replays the scenario under a permuted
 same-timestamp tie-break order and fails (exit 2) if any observable
-diverges — the dynamic complement of ``lint``.
+diverges — the dynamic complement of ``lint``. ``run --calendar-check``
+does the same for the event-calendar choice: heap vs wheel must produce
+byte-identical artifacts. ``run --calendar heap`` executes on the
+legacy heap calendar, and ``run --profile`` wraps an (uncached) run in
+cProfile and writes a pstats dump next to the artifact.
 
 Figures print their series and write CSVs under ``--results``.
 
@@ -64,6 +68,7 @@ from repro.experiments.runner import FRAMEWORKS
 from repro.experiments.scenarios import ScenarioConfig
 from repro.experiments.sweep import concurrency_sweep
 from repro.faults.plan import parse_faults
+from repro.sim.calendar import CALENDARS
 from repro.workload.mixes import browse_only_mix, read_write_mix
 from repro.workload.shapes import TRACE_NAMES, make_trace
 
@@ -201,6 +206,46 @@ def _run_overrides(framework: str, headroom: float | None) -> RunOverrides:
     return RunOverrides(conscale_headroom=headroom)
 
 
+def _direct_run(spec: RunSpec, args: argparse.Namespace):
+    """Execute outside the engine: explicit calendar and/or profiling.
+
+    Bypasses the result cache on purpose — a profiled run must actually
+    execute (a cache hit would profile nothing), and a heap-calendar run
+    is a debugging aid. The artifact itself is calendar-independent, so
+    nothing is lost by not publishing it.
+    """
+    from repro.experiments.runner import execute_spec
+    from repro.sim.engine import Simulator
+
+    sim = Simulator(calendar=args.calendar)
+    if not args.profile:
+        return execute_spec(spec, sim=sim)
+    import cProfile
+    import pstats
+
+    if args.save_artifact:
+        dump = args.save_artifact + ".pstats"
+    else:
+        dump = os.path.join(
+            ensure_results_dir("results"),
+            f"profile_{spec.digest()[:12]}.pstats",
+        )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = execute_spec(spec, sim=sim)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(dump)
+    stats = pstats.Stats(profiler)
+    print(
+        f"profile: {stats.total_calls} calls in {stats.total_tt:.2f}s, "
+        f"dump written to {dump} (inspect: python -m pstats {dump})",
+        file=sys.stderr,
+    )
+    return result
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     spec = RunSpec(
         args.framework,
@@ -208,15 +253,27 @@ def cmd_run(args: argparse.Namespace) -> int:
         _run_overrides(args.framework, args.headroom),
         faults=parse_faults(args.faults),
     )
+    if args.calendar_check:
+        from repro.experiments.calendar_equiv import run_calendar_check
+
+        # Raises CalendarDivergenceError (exit 2 via main) on mismatch.
+        report = run_calendar_check(spec)
+        print(report.describe())
+        print("calendar equivalence ok")
+        return 0
     if args.race_check:
         from repro.experiments.racecheck import run_race_check
 
         # Raises TieOrderRaceError (exit 2 via main) on divergence.
-        report = run_race_check(spec)
+        report = run_race_check(spec, calendar=args.calendar)
         print(report.describe())
         return 0
-    engine = _engine(args)
-    result = engine.run(spec)
+    engine = None
+    if args.profile or args.calendar != "wheel":
+        result = _direct_run(spec, args)
+    else:
+        engine = _engine(args)
+        result = engine.run(spec)
     print(format_table(_TAIL_HEADERS, [_tail_row(args.framework, result)]))
     if result.spec.faults is not None:
         in_flight = result.generated - result.completed - result.failed
@@ -236,7 +293,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                 f"resilience: timeouts={summary.timeouts} "
                 f"abandoned={summary.abandoned} recover=[{recoveries}]"
             )
-    _report_cache(engine)
+    if engine is not None:
+        _report_cache(engine)
     if args.save:
         from repro.experiments.persistence import save_result
 
@@ -540,6 +598,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="run twice (canonical and permuted same-timestamp order) and "
         "fail if any observable diverges; skips the cache and the normal "
         "summary output",
+    )
+    p_run.add_argument(
+        "--calendar", choices=CALENDARS, default="wheel",
+        help="event calendar to execute on (default: wheel); selecting "
+        "'heap' runs the legacy single-heap loop and bypasses the cache",
+    )
+    p_run.add_argument(
+        "--calendar-check", action="store_true",
+        help="run under both calendars (heap and wheel) and fail (exit 2) "
+        "unless the artifacts match byte for byte; skips the cache and "
+        "the normal summary output",
+    )
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="wrap the run in cProfile and write a pstats dump next to "
+        "the artifact (forces re-execution, bypassing the cache)",
     )
     p_run.set_defaults(func=cmd_run)
 

@@ -13,6 +13,7 @@ __all__ = [
     "SimulationError",
     "ScheduleError",
     "TieOrderRaceError",
+    "CalendarDivergenceError",
     "LintError",
     "CapacityModelError",
     "PoolError",
@@ -56,6 +57,17 @@ class TieOrderRaceError(SimulationError):
     order in any observable: request records, warehouse series, VM
     timelines, or control-bus events. The discrete-event analogue of a
     data race: the outcome hangs on a scheduling accident."""
+
+
+class CalendarDivergenceError(SimulationError):
+    """The heap and wheel calendars produced different run artifacts.
+
+    Raised by the calendar-equivalence harness
+    (:func:`repro.experiments.calendar_equiv.run_calendar_check`) when
+    executing the same spec under ``Simulator(calendar="heap")`` and
+    ``Simulator(calendar="wheel")`` yields different observable
+    surfaces. The calendar is a pure performance choice; any divergence
+    is an engine bug, never a legitimate model difference."""
 
 
 class LintError(ReproError):

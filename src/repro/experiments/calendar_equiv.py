@@ -1,0 +1,146 @@
+"""Calendar-equivalence harness: heap vs wheel, byte for byte.
+
+The two event calendars (:mod:`repro.sim.calendar`) are meant to be
+*pure performance* alternatives: for the same schedule / cancel /
+reschedule calls, the heap and the wheel must execute the exact same
+event sequence, so a run's :class:`~repro.experiments.artifact.RunArtifact`
+signature must be identical under ``Simulator(calendar="heap")`` and
+``Simulator(calendar="wheel")``. This module pins that property the
+same way the tie-order race detector pins order-independence: execute
+the spec under both calendars (bypassing the result cache) and compare
+every observable surface.
+
+:func:`default_equivalence_specs` builds the sweep CI runs: one short
+run per built-in trace shape plus a faulted storyline, so both the
+steady-state hot path and the crash/blackout control paths are covered.
+Any divergence raises :class:`~repro.errors.CalendarDivergenceError`
+naming the surfaces — a calendar divergence is always an engine bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CalendarDivergenceError
+from repro.experiments.artifact import RunSpec
+from repro.experiments.racecheck import diverging_surfaces
+from repro.experiments.runner import execute_spec
+from repro.experiments.scenarios import ScenarioConfig
+from repro.faults.plan import FaultPlan, ServerCrashSpec, TelemetryDropoutSpec
+from repro.sim.engine import Simulator
+from repro.workload.shapes import TRACE_NAMES
+
+__all__ = [
+    "CalendarCheckReport",
+    "run_calendar_check",
+    "default_equivalence_specs",
+    "run_equivalence_suite",
+]
+
+
+@dataclass(frozen=True)
+class CalendarCheckReport:
+    """Outcome of one clean heap-vs-wheel comparison (divergence raises)."""
+
+    spec_digest: str
+    #: The matching artifact signature both calendars produced.
+    signature: str
+    #: Events executed (identical for both runs by construction).
+    events_executed: int
+    #: Wheel-run calendar counters (compactions, lazy-deletion debt...).
+    wheel_stats: dict[str, int]
+
+    def describe(self) -> str:
+        return (
+            f"calendars equivalent: {self.events_executed} events, "
+            f"signature {self.signature[:12]}…, "
+            f"{self.wheel_stats.get('compactions', 0)} wheel compaction(s)"
+        )
+
+
+def run_calendar_check(spec: RunSpec) -> CalendarCheckReport:
+    """Execute ``spec`` under both calendars and compare artifacts.
+
+    Returns a :class:`CalendarCheckReport` when the artifact signatures
+    are byte-identical; raises
+    :class:`~repro.errors.CalendarDivergenceError` naming every
+    diverging observable surface otherwise. Both runs bypass the result
+    cache by calling :func:`~repro.experiments.runner.execute_spec`
+    directly with an explicit fresh simulator.
+    """
+    heap_sim = Simulator(calendar="heap")
+    wheel_sim = Simulator(calendar="wheel")
+    heap_run = execute_spec(spec, sim=heap_sim)
+    wheel_run = execute_spec(spec, sim=wheel_sim)
+    heap_sig = heap_run.signature()
+    wheel_sig = wheel_run.signature()
+    if heap_sig != wheel_sig:
+        divergent = diverging_surfaces(heap_run, wheel_run)
+        names = ", ".join(divergent) if divergent else "artifact metadata"
+        raise CalendarDivergenceError(
+            f"calendar divergence in {spec.label}: heap signature "
+            f"{heap_sig[:12]}… != wheel signature {wheel_sig[:12]}… — "
+            f"diverging surface(s): {names} (heap executed "
+            f"{heap_sim.events_executed} events, wheel "
+            f"{wheel_sim.events_executed})"
+        )
+    return CalendarCheckReport(
+        spec_digest=spec.digest(),
+        signature=wheel_sig,
+        events_executed=wheel_sim.events_executed,
+        wheel_stats=wheel_sim.calendar_stats(),
+    )
+
+
+def default_equivalence_specs(
+    *, duration: float = 40.0, load_scale: float = 300.0
+) -> list[RunSpec]:
+    """The CI equivalence sweep: every trace shape, plus one faulted run.
+
+    Short, heavily down-scaled runs — the point is path coverage (all
+    six built-in arrival shapes through the wheel, plus the crash /
+    telemetry-blackout control paths of the fault machinery), not
+    statistical fidelity.
+    """
+    specs = [
+        RunSpec(
+            framework="conscale",
+            config=ScenarioConfig(
+                name="calequiv", trace_name=trace,
+                load_scale=load_scale, duration=duration, seed=7,
+            ),
+        )
+        for trace in TRACE_NAMES
+    ]
+    # Two app replicas so the mid-run crash leaves the tier routable.
+    faulted = ScenarioConfig(
+        name="calequiv-faulted", trace_name="dual_phase",
+        load_scale=load_scale, duration=duration, seed=7,
+        topology=(1, 2, 1),
+    )
+    specs.append(
+        RunSpec(
+            framework="conscale",
+            config=faulted,
+            faults=FaultPlan(
+                (
+                    ServerCrashSpec(tier="app", at=duration * 0.3),
+                    TelemetryDropoutSpec(at=duration * 0.5, duration=5.0),
+                )
+            ),
+        )
+    )
+    return specs
+
+
+def run_equivalence_suite(
+    specs: list[RunSpec] | None = None,
+) -> list[CalendarCheckReport]:
+    """Run :func:`run_calendar_check` over a spec list (default sweep).
+
+    Fail-fast: the first divergence raises. Returns one report per spec
+    when every comparison is clean.
+    """
+    if specs is None:
+        specs = default_equivalence_specs()
+    return [run_calendar_check(spec) for spec in specs]

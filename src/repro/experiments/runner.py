@@ -49,7 +49,6 @@ from repro.scaling.policy import TierPolicyConfig
 from repro.scaling.predictive import PredictiveAutoScaling
 from repro.sct.model import SCTModel
 from repro.sim.engine import PRIORITY_SAMPLER, Simulator
-from repro.sim.process import PeriodicProcess
 from repro.workload.generator import OpenLoopGenerator, RequestFactory
 from repro.workload.mixes import WorkloadMix, browse_only_mix, read_write_mix
 from repro.workload.shapes import make_trace
@@ -240,7 +239,7 @@ def execute_spec(spec: RunSpec, *, sim: Simulator | None = None) -> RunArtifact:
     # Samples at PRIORITY_SAMPLER: a launch that completes at exactly a
     # sample instant is always counted in that sample, regardless of
     # which concurrent event the scheduler happened to pop first.
-    vm_sampler = PeriodicProcess(sim, 1.0, _sample_vms, priority=PRIORITY_SAMPLER)
+    vm_sampler = warehouse.register_sampler(_sample_vms, priority=PRIORITY_SAMPLER)
 
     # --- run --------------------------------------------------------------
     generator.start()

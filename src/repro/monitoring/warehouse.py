@@ -13,15 +13,19 @@ the moment they join.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
 
 from repro.control.bus import ControlBus
 from repro.control.events import TelemetryEvent
 from repro.errors import MonitoringError
 from repro.monitoring.interval import IntervalMonitor, IntervalSample
 from repro.ntier.server import Server
-from repro.sim.engine import PRIORITY_WAREHOUSE, Simulator
+from repro.sim.engine import PRIORITY_SAMPLER, PRIORITY_WAREHOUSE, Simulator
 from repro.sim.process import PeriodicProcess
 
 __all__ = ["VmSample", "MetricWarehouse"]
@@ -40,17 +44,23 @@ class VmSample:
 
 
 class _VmState:
-    """Per-server differencing state for the 1 s system metrics."""
+    """Per-server monitoring agent handle.
 
-    __slots__ = ("server", "fine", "prev_util", "prev_conc", "prev_comp", "prev_t")
+    The differencing baselines (previous integrals and tick time) live
+    in the warehouse's numpy arrays, indexed by the server's position in
+    the name-sorted ``_order`` list — per-tick collection then runs as
+    one vectorised subtract-and-divide over the fleet instead of a dict
+    copy per server per second.
+    """
 
-    def __init__(self, server: Server, fine: IntervalMonitor, now: float) -> None:
+    __slots__ = ("server", "fine", "cpu_name")
+
+    def __init__(self, server: Server, fine: IntervalMonitor) -> None:
         self.server = server
         self.fine = fine
-        self.prev_util = dict(server.util_integral)
-        self.prev_conc = server.concurrency_integral
-        self.prev_comp = server.completions
-        self.prev_t = now
+        # The primary resource whose busy integral feeds the 1 s cpu
+        # signal; pinned at registration (see the guard in _collect).
+        self.cpu_name = server.capacity.resources[0].name
 
 
 class MetricWarehouse:
@@ -73,6 +83,13 @@ class MetricWarehouse:
         # observe the exact signal the threshold policy acts on.
         self.bus = bus
         self._states: dict[str, _VmState] = {}
+        # Name-sorted registry plus the differencing baselines, kept as
+        # parallel numpy arrays: _prev[i] = (cpu busy integral,
+        # concurrency integral, completions) of _order[i] at its last
+        # recorded tick, _prev_t[i] = that tick's time.
+        self._order: list[str] = []
+        self._prev = np.zeros((0, 3), dtype=np.float64)
+        self._prev_t = np.zeros(0, dtype=np.float64)
         self._history: deque[VmSample] = deque()
         self._history_seconds = float(history_seconds)
         self._fine_history = fine_history
@@ -95,7 +112,17 @@ class MetricWarehouse:
         )
         if self._in_blackout(server.tier):
             fine.suspend()
-        self._states[server.name] = _VmState(server, fine, self.sim.now)
+        state = _VmState(server, fine)
+        self._states[server.name] = state
+        pos = bisect_left(self._order, server.name)
+        self._order.insert(pos, server.name)
+        baseline = [
+            server.util_integral[state.cpu_name],
+            server.concurrency_integral,
+            float(server.completions),
+        ]
+        self._prev = np.insert(self._prev, pos, baseline, axis=0)
+        self._prev_t = np.insert(self._prev_t, pos, self.sim.now)
 
     def deregister_server(self, name: str) -> None:
         """Remove a retired server's agent (its history stays queryable)."""
@@ -103,11 +130,15 @@ class MetricWarehouse:
         if state is None:
             raise MonitoringError(f"server {name!r} is not monitored")
         state.fine.stop()
+        pos = self._order.index(name)
+        del self._order[pos]
+        self._prev = np.delete(self._prev, pos, axis=0)
+        self._prev_t = np.delete(self._prev_t, pos)
 
     @property
     def monitored_servers(self) -> list[str]:
         """Names of currently monitored servers."""
-        return sorted(self._states)
+        return list(self._order)
 
     def reset_fine_history(self, name: str) -> None:
         """Drop one server's fine-grained history.
@@ -182,53 +213,91 @@ class MetricWarehouse:
     # collection
     # ------------------------------------------------------------------
     def _collect(self, now: float) -> None:
-        publish = self.bus is not None and self.bus.has_subscribers(TelemetryEvent)
-        # Name-sorted so the per-tick sample/publication order is a
-        # function of the fleet, not of registration order (which the
-        # tie-order of concurrent bootstrap/scale-out completions sets).
-        for name in sorted(self._states):
-            state = self._states[name]
-            server = state.server
-            server.sync_monitors()
-            dt = now - state.prev_t
-            if dt <= 0:
-                continue
-            if self._in_blackout(server.tier):
-                # Roll the differencing state forward without recording.
-                state.prev_util = dict(server.util_integral)
-                state.prev_conc = server.concurrency_integral
-                state.prev_comp = server.completions
-                state.prev_t = now
-                continue
-            cpu_name = server.capacity.resources[0].name
-            cpu = (server.util_integral[cpu_name] - state.prev_util[cpu_name]) / dt
-            conc = (server.concurrency_integral - state.prev_conc) / dt
-            tp = (server.completions - state.prev_comp) / dt
-            self._history.append(
-                VmSample(
-                    t_end=now,
-                    server=server.name,
-                    tier=server.tier,
-                    cpu=cpu,
-                    concurrency=conc,
-                    throughput=tp,
-                )
-            )
-            if publish:
-                self.bus.publish(
-                    TelemetryEvent(
-                        time=now, server=server.name, tier=server.tier,
+        # Name-sorted (_order) so the per-tick sample/publication order
+        # is a function of the fleet, not of registration order (which
+        # the tie-order of concurrent bootstrap/scale-out completions
+        # sets). The rate arithmetic is one vectorised pass over the
+        # fleet; only the integral reads and the sample fan-out remain
+        # per-server Python.
+        order = self._order
+        n = len(order)
+        if n:
+            states = self._states
+            cur = np.empty((n, 3), dtype=np.float64)
+            blackout = np.zeros(n, dtype=bool)
+            tiers: list[str] = []
+            for i, name in enumerate(order):
+                state = states[name]
+                server = state.server
+                server.sync_monitors()
+                if server.capacity.resources[0].name != state.cpu_name:
+                    # The baseline in _prev is the busy integral of the
+                    # resource pinned at registration; differencing it
+                    # against a different resource would fabricate a
+                    # rate. (Vertical scaling swaps the capacity curve
+                    # but keeps the primary resource's identity.)
+                    raise MonitoringError(
+                        f"server {name!r} changed primary resource "
+                        f"{state.cpu_name!r} -> "
+                        f"{server.capacity.resources[0].name!r}; "
+                        "re-register it to monitor the new resource"
+                    )
+                cur[i, 0] = server.util_integral[state.cpu_name]
+                cur[i, 1] = server.concurrency_integral
+                cur[i, 2] = server.completions
+                tiers.append(server.tier)
+                blackout[i] = self._in_blackout(server.tier)
+            dt = now - self._prev_t
+            fresh = dt > 0.0
+            rates = np.zeros_like(cur)
+            np.divide(cur - self._prev, dt[:, None], out=rates,
+                      where=fresh[:, None])
+            bus = self.bus
+            publish = bus is not None and bus.has_subscribers(TelemetryEvent)
+            for i in np.nonzero(fresh & ~blackout)[0].tolist():
+                name = order[i]
+                tier = tiers[i]
+                cpu = float(rates[i, 0])
+                conc = float(rates[i, 1])
+                tp = float(rates[i, 2])
+                self._history.append(
+                    VmSample(
+                        t_end=now, server=name, tier=tier,
                         cpu=cpu, concurrency=conc, throughput=tp,
                     )
                 )
-            state.prev_util = dict(server.util_integral)
-            state.prev_conc = server.concurrency_integral
-            state.prev_comp = server.completions
-            state.prev_t = now
-            self._last_sample_t[server.tier] = now
+                if publish:
+                    assert bus is not None
+                    bus.publish(
+                        TelemetryEvent(
+                            time=now, server=name, tier=tier,
+                            cpu=cpu, concurrency=conc, throughput=tp,
+                        )
+                    )
+                self._last_sample_t[tier] = now
+            # Blacked-out servers roll forward without recording, so no
+            # bogus catch-up sample appears when the blackout ends.
+            np.copyto(self._prev, cur, where=fresh[:, None])
+            self._prev_t[fresh] = now
         cutoff = now - self._history_seconds
         while self._history and self._history[0].t_end < cutoff:
             self._history.popleft()
+
+    def register_sampler(
+        self,
+        fn: Callable[[float], None],
+        *,
+        priority: int = PRIORITY_SAMPLER,
+    ) -> PeriodicProcess:
+        """Run ``fn(now)`` on the warehouse's collection cadence.
+
+        Samplers tick at the same 1 s interval as VM collection but at
+        an end-of-instant priority, so they observe the settled picture
+        of each tick — warehouse aggregates updated, controllers done
+        acting. The experiment runner registers its VM-count sampler
+        here instead of wiring its own periodic process.
+        """
+        return PeriodicProcess(self.sim, self.tick, fn, priority=priority)
 
     # ------------------------------------------------------------------
     # queries

@@ -49,9 +49,9 @@ class LeastConnBalancer:
         if not servers:
             raise ConfigurationError("cannot route: tier has no live servers")
         best = servers[0]
-        best_load = best.admitted + best.threads.queued
+        best_load = best.outstanding
         for server in servers[1:]:
-            load = server.admitted + server.threads.queued
+            load = server.outstanding
             if load < best_load:
                 best, best_load = server, load
         return best

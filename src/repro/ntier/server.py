@@ -53,27 +53,28 @@ class ServerConfig:
 
 
 class _ActiveJob:
-    """Bookkeeping for one request currently in the PS active set."""
+    """Bookkeeping for one request currently in the PS active set.
 
-    __slots__ = ("finish_credit", "seq", "request", "on_done", "done")
+    The ordering key lives in the heap entry tuple
+    ``(finish_credit, seq, job)`` rather than on the job itself, so
+    ``heapq`` compares entirely in C (``seq`` is unique — two jobs are
+    never compared).
+    """
+
+    __slots__ = ("request", "on_done", "done")
 
     def __init__(
         self,
-        finish_credit: float,
-        seq: int,
         request: Request,
         on_done: Callable[[Request], None],
     ) -> None:
-        self.finish_credit = finish_credit
-        self.seq = seq
         self.request = request
         self.on_done = on_done
         self.done = False
 
-    def __lt__(self, other: "_ActiveJob") -> bool:
-        if self.finish_credit != other.finish_credit:
-            return self.finish_credit < other.finish_credit
-        return self.seq < other.seq
+
+#: A PS heap entry: ``(finish_credit, seq, job)``.
+_JobEntry = tuple[float, int, _ActiveJob]
 
 
 class Server:
@@ -89,7 +90,7 @@ class Server:
 
         # --- PS state -------------------------------------------------
         self._credit = 0.0  # shared per-job service credit
-        self._heap: list[_ActiveJob] = []
+        self._heap: list[_JobEntry] = []
         self._active = 0  # live (non-done) jobs in the heap
         self._admitted = 0  # threads held (active + blocked)
         self._seq = 0
@@ -122,6 +123,12 @@ class Server:
     def active(self) -> int:
         """Requests actively computing (admitted minus blocked)."""
         return self._active
+
+    @property
+    def outstanding(self) -> int:
+        """Requests admitted plus requests queued for a worker thread —
+        what a load balancer's connection count sees."""
+        return self._admitted + self.threads.queued
 
     @property
     def is_idle(self) -> bool:
@@ -192,9 +199,9 @@ class Server:
             self.sim.schedule_after(0.0, on_done, request)
             return
         self._advance_clock()
-        job = _ActiveJob(self._credit + demand, self._seq, request, on_done)
+        job = _ActiveJob(request, on_done)
+        heapq.heappush(self._heap, (self._credit + demand, self._seq, job))
         self._seq += 1
-        heapq.heappush(self._heap, job)
         self._active += 1
         self._reschedule()
 
@@ -228,7 +235,8 @@ class Server:
         if visit is None:
             return False
         self._advance_clock()
-        for job in self._heap:
+        for entry in self._heap:
+            job = entry[2]
             if job.request is request and not job.done:
                 job.done = True
                 self._active -= 1
@@ -274,27 +282,36 @@ class Server:
         self._advance_clock()
 
     def _reschedule(self) -> None:
-        """Recompute the PS rate and (re)schedule the next completion."""
-        if self._completion_event is not None:
-            self._completion_event.cancel()
-            self._completion_event = None
+        """Recompute the PS rate and (re)schedule the next completion.
+
+        This fires on *every* admission, departure, phase start, and
+        capacity change, so it uses the calendar's reschedule fast path:
+        the pending completion event is *moved* to the new time instead
+        of being cancelled and replaced (which left a dead tombstone per
+        transition), and is kept untouched when the time is unchanged.
+        """
         # Drop already-finished heap entries lazily.
         heap = self._heap
-        while heap and heap[0].done:
+        while heap and heap[0][2].done:
             heapq.heappop(heap)
+        ev = self._completion_event
         if self._active <= 0:
             self._rate_per_job = 0.0
+            if ev is not None:
+                ev.cancel()
+                self._completion_event = None
             return
         total_rate = self.capacity.work_rate(self._active, self._admitted)
         self._rate_per_job = total_rate / self._active
         if not heap:  # pragma: no cover - defensive, implies bookkeeping bug
             raise SimulationError(f"{self.name}: active={self._active} but heap empty")
-        remaining = heap[0].finish_credit - self._credit
-        if remaining <= 0.0:
-            self._completion_event = self.sim.schedule_after(0.0, self._complete)
-        else:
-            delay = remaining / self._rate_per_job
-            self._completion_event = self.sim.schedule_after(delay, self._complete)
+        remaining = heap[0][0] - self._credit
+        now = self.sim.now
+        target = now if remaining <= 0.0 else now + remaining / self._rate_per_job
+        if ev is None:
+            self._completion_event = self.sim.schedule(target, self._complete)
+        elif ev.time != target:
+            self._completion_event = self.sim.reschedule(ev, target)
 
     def _complete(self) -> None:
         """Fire every job whose credit requirement has been met."""
@@ -305,8 +322,8 @@ class Server:
         # A tiny epsilon absorbs float round-off so a job scheduled to
         # finish exactly now is not left 1e-18 credit short.
         threshold = self._credit + 1e-12
-        while heap and (heap[0].done or heap[0].finish_credit <= threshold):
-            job = heapq.heappop(heap)
+        while heap and (heap[0][2].done or heap[0][0] <= threshold):
+            job = heapq.heappop(heap)[2]
             if job.done:
                 continue
             job.done = True

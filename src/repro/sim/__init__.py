@@ -11,10 +11,24 @@ The engine is deliberately callback-based (no coroutines): the n-tier
 model schedules only a handful of event types per request, and plain
 callbacks keep the hot path allocation-light, per the profiling guidance
 in the HPC Python guides.
+
+Pending events live in a pluggable calendar (:mod:`repro.sim.calendar`):
+the default two-level slotted wheel, or the classic lazy-deletion heap
+via ``Simulator(calendar="heap")``. Both execute identical event
+sequences; the equivalence harness in
+:mod:`repro.experiments.calendar_equiv` pins that property.
 """
 
+from repro.sim.calendar import CALENDARS, HeapCalendar, WheelCalendar
 from repro.sim.engine import Simulator
 from repro.sim.event import EventHandle
 from repro.sim.process import PeriodicProcess
 
-__all__ = ["Simulator", "EventHandle", "PeriodicProcess"]
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "PeriodicProcess",
+    "CALENDARS",
+    "HeapCalendar",
+    "WheelCalendar",
+]

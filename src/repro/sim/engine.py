@@ -2,14 +2,23 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop
+from sys import maxsize
 from typing import Any, Callable
 
 from repro.errors import ConfigurationError, ScheduleError, SimulationError
+from repro.sim.calendar import (
+    CALENDARS,
+    COMPACT_FLOOR,
+    HeapCalendar,
+    WheelCalendar,
+    make_calendar,
+)
 from repro.sim.event import EventHandle
 
 __all__ = [
     "Simulator",
+    "CALENDARS",
     "TIE_ORDERS",
     "PRIORITY_MODEL",
     "PRIORITY_WAREHOUSE",
@@ -43,6 +52,8 @@ PRIORITY_FINE_MONITOR = 40
 #: Recognised tie-break orders for same-(time, priority) event batches.
 TIE_ORDERS = ("fifo", "reverse")
 
+_INF = float("inf")
+
 
 class Simulator:
     """A deterministic discrete-event simulator.
@@ -57,6 +68,14 @@ class Simulator:
     only moves forward; scheduling in the past raises
     :class:`ScheduleError`.
 
+    ``calendar`` selects the pending-event store (see
+    :mod:`repro.sim.calendar`): ``"wheel"`` (default) is the two-level
+    slotted calendar tuned for dense periodic traffic and the server
+    model's reschedule churn; ``"heap"`` is the classic single
+    lazy-deletion heap, kept selectable so the calendar-equivalence
+    harness can pin the wheel against it. Both execute the *exact* same
+    event sequence for the same schedule/cancel/reschedule calls.
+
     ``tie_order`` selects how events sharing a (time, priority) pair are
     sequenced: ``"fifo"`` (default) preserves schedule order, while
     ``"reverse"`` — the race-detector debug mode — executes each such
@@ -66,13 +85,29 @@ class Simulator:
     first.
     """
 
-    def __init__(self, start_time: float = 0.0, *, tie_order: str = "fifo") -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        *,
+        tie_order: str = "fifo",
+        calendar: str = "wheel",
+        wheel_slot: float = 0.002,
+        wheel_slots: int = 4096,
+    ) -> None:
         if tie_order not in TIE_ORDERS:
             raise ConfigurationError(
                 f"tie_order must be one of {TIE_ORDERS}, got {tie_order!r}"
             )
+        if calendar not in CALENDARS:
+            raise ConfigurationError(
+                f"calendar must be one of {CALENDARS}, got {calendar!r}"
+            )
         self._now = float(start_time)
-        self._heap: list[EventHandle] = []
+        self._cal: HeapCalendar | WheelCalendar = make_calendar(
+            calendar, slot_width=wheel_slot, nslots=wheel_slots
+        )
+        if isinstance(self._cal, WheelCalendar):
+            self._cal.cursor = self._cal.slot_of(self._now)
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -107,6 +142,17 @@ class Simulator:
         return self._live
 
     @property
+    def calendar(self) -> str:
+        """The calendar kind this simulator runs on (``wheel``/``heap``)."""
+        return self._cal.kind
+
+    def calendar_stats(self) -> dict[str, int]:
+        """Calendar occupancy counters: stored entries, lazy-deletion
+        debt (``dead``), and compaction count; the wheel additionally
+        reports its active/bucket/overflow split."""
+        return self._cal.stats()
+
+    @property
     def tie_order(self) -> str:
         """The tie-break order this simulator runs under."""
         return self._tie_order
@@ -128,8 +174,17 @@ class Simulator:
 
     def event_cancelled(self) -> None:
         """Counter hook for :meth:`EventHandle.cancel` (lazy removal
-        keeps the entry in the heap, so the count must drop here)."""
+        keeps the entry in the calendar, so the count must drop here).
+
+        Also the compaction trigger: once cancelled entries outnumber
+        live ones (above a small floor), the calendar is rebuilt in
+        place, so cancel-heavy phases cannot bloat it quadratically.
+        """
         self._live -= 1
+        cal = self._cal
+        cal.dead += 1
+        if cal.dead > COMPACT_FLOOR and cal.dead > self._live:
+            cal.compact()
 
     # ------------------------------------------------------------------
     # scheduling
@@ -153,11 +208,10 @@ class Simulator:
             raise ScheduleError(
                 f"cannot schedule at t={time:.6f}: clock is at t={self._now:.6f}"
             )
-        handle = EventHandle(
-            time, self._seq, callback, args, owner=self, priority=priority
-        )
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, owner=self, priority=priority)
+        self._cal.push(handle)
         self._live += 1
         return handle
 
@@ -172,6 +226,85 @@ class Simulator:
         if delay < 0:
             raise ScheduleError(f"negative delay {delay!r}")
         return self.schedule(self._now + delay, callback, *args, priority=priority)
+
+    def reschedule(self, handle: EventHandle, new_time: float) -> EventHandle:
+        """Move a *pending* event to ``new_time``; returns its live handle.
+
+        The churn-free fast path for the cancel-and-repush pattern: the
+        PS server moves its next-completion event on every arrival and
+        departure, and a cancel+schedule pair leaves a dead entry behind
+        each time. When the entry sits in a wheel bucket it is moved in
+        place (no tombstone, no allocation — the returned handle *is*
+        ``handle``); otherwise the old entry is tombstoned and a fresh
+        handle returned. Callers must keep the returned handle.
+
+        The rescheduled event is sequenced as if freshly scheduled now
+        (new schedule order), exactly like the cancel+schedule pair it
+        replaces — so both code patterns and both calendars execute the
+        same event sequence. Raises :class:`ScheduleError` for handles
+        that are not pending (already fired or cancelled), foreign
+        handles, and times in the past.
+        """
+        if handle.owner is not self:
+            raise ScheduleError("cannot reschedule a foreign event handle")
+        if handle.done or handle.cancelled:
+            state = "cancelled" if handle.cancelled else "already-fired"
+            raise ScheduleError(f"cannot reschedule {state} event {handle!r}")
+        if new_time < self._now:
+            raise ScheduleError(
+                f"cannot reschedule to t={new_time:.6f}: "
+                f"clock is at t={self._now:.6f}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        if self._cal.move(handle, new_time, seq):
+            return handle
+        # Tombstone path: the entry sits in a heap, where in-place
+        # relocation is not possible. Identical cost and semantics to
+        # the legacy cancel+schedule pair (one dead entry, compacted
+        # away once the debt exceeds the live count).
+        fresh = EventHandle(
+            new_time, seq, handle.callback, handle.args,
+            owner=self, priority=handle.priority,
+        )
+        handle.cancel()
+        self._cal.push(fresh)
+        self._live += 1
+        return fresh
+
+    def rearm(self, handle: EventHandle, time: float) -> EventHandle:
+        """Re-arm an *already-fired* handle at ``time``; returns it.
+
+        The allocation-free fast path for periodic processes: the record
+        of the tick that just fired is reused for the next tick instead
+        of allocating a fresh :class:`EventHandle` every interval —
+        dense periodic traffic (warehouse ticks, 50 ms fine monitors)
+        stops churning the allocator. The re-armed event is sequenced as
+        if freshly scheduled (new schedule order), so ``rearm`` is
+        observably identical to ``schedule``.
+
+        Only a fired, non-cancelled handle may be re-armed (anything
+        else raises :class:`ScheduleError`); after re-arming, the handle
+        is pending again and :meth:`EventHandle.cancel` cancels the new
+        occurrence.
+        """
+        if handle.owner is not self:
+            raise ScheduleError("cannot rearm a foreign event handle")
+        if not handle.done or handle.cancelled:
+            state = "cancelled" if handle.cancelled else "still-pending"
+            raise ScheduleError(f"cannot rearm {state} event {handle!r}")
+        if time < self._now:
+            raise ScheduleError(
+                f"cannot rearm at t={time:.6f}: clock is at t={self._now:.6f}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        handle.time = time
+        handle.seq = seq
+        handle.done = False
+        self._cal.push(handle)
+        self._live += 1
+        return handle
 
     # ------------------------------------------------------------------
     # run loop
@@ -191,84 +324,136 @@ class Simulator:
         try:
             if self._tie_order == "reverse":
                 self._run_permuted(until, max_events)
+            elif isinstance(self._cal, WheelCalendar):
+                self._run_fifo_wheel(self._cal, until, max_events)
             else:
-                self._run_fifo(until, max_events)
+                self._run_fifo_heap(self._cal, until, max_events)
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
             self._now = until
 
-    def _run_fifo(self, until: float | None, max_events: int | None) -> None:
-        """The hot loop: one event at a time, strict heap order."""
+    def _run_fifo_heap(
+        self, cal: HeapCalendar, until: float | None, max_events: int | None
+    ) -> None:
+        """The classic hot loop: one event at a time, strict heap order."""
         budget = max_events if max_events is not None else -1
-        heap = self._heap
+        until_v = _INF if until is None else until
+        heap = cal.entries
         while heap and not self._stopped:
-            ev = heap[0]
-            if ev.cancelled:
-                heapq.heappop(heap)
-                ev.done = True
+            entry = heap[0]
+            handle = entry[3]
+            if handle.cancelled:
+                heappop(heap)
+                handle.done = True
+                cal.dead -= 1
                 continue
-            if until is not None and ev.time > until:
+            time = entry[0]
+            if time > until_v:
                 break
-            heapq.heappop(heap)
-            ev.done = True
+            heappop(heap)
+            handle.done = True
             self._live -= 1
-            self._now = ev.time
-            ev.callback(*ev.args)
+            self._now = time
+            handle.callback(*handle.args)
             self._executed += 1
-            if budget > 0:
-                budget -= 1
-                if budget == 0:
+            budget -= 1
+            if budget == 0:
+                break
+
+    def _run_fifo_wheel(
+        self, cal: WheelCalendar, until: float | None, max_events: int | None
+    ) -> None:
+        """The wheel hot loop: drain the active slot heap, advance the
+        cursor to the next populated slot when it empties."""
+        budget = max_events if max_events is not None else -1
+        until_v = _INF if until is None else until
+        limit_idx = maxsize if until is None else cal.slot_of(until)
+        # Safe to hoist: the active heap is only ever mutated in place
+        # (advance/_load_slot append into it, compact slice-assigns).
+        cur = cal.cur
+        advance = cal.advance
+        while not self._stopped:
+            if not cur:
+                if not advance(limit_idx):
                     break
+                continue
+            entry = cur[0]
+            handle = entry[3]
+            if handle.cancelled:
+                heappop(cur)
+                handle.done = True
+                cal.dead -= 1
+                continue
+            time = entry[0]
+            if time > until_v:
+                break
+            heappop(cur)
+            handle.done = True
+            self._live -= 1
+            self._now = time
+            handle.callback(*handle.args)
+            self._executed += 1
+            budget -= 1
+            if budget == 0:
+                break
 
     def _run_permuted(self, until: float | None, max_events: int | None) -> None:
         """Race-check loop: drain one concurrent batch at a time.
 
-        A *batch* is every currently pending event sharing the heap
-        head's (time, priority). The batch executes in reversed schedule
-        order — the adversarial permutation — while events scheduled
-        *during* the batch (even at the same instant) land in a later
-        batch, exactly as they would run after their creators in FIFO
-        order. Causal order is therefore preserved; only the arbitrary
+        A *batch* is every currently pending event sharing the head's
+        (time, priority). The batch executes in reversed schedule order
+        — the adversarial permutation — while events scheduled *during*
+        the batch (even at the same instant) land in a later batch,
+        exactly as they would run after their creators in FIFO order.
+        Causal order is therefore preserved; only the arbitrary
         interleaving of concurrent events changes.
+
+        Calendar-generic (runs on the peek/pop interface): the race
+        detector must be able to permute under both calendars.
         """
         budget = max_events if max_events is not None else -1
-        heap = self._heap
-        while heap and not self._stopped:
-            head = heap[0]
-            if head.cancelled:
-                heapq.heappop(heap)
-                head.done = True
-                continue
-            if until is not None and head.time > until:
+        until_v = _INF if until is None else until
+        cal = self._cal
+        limit_idx = (
+            maxsize
+            if until is None or not isinstance(cal, WheelCalendar)
+            else cal.slot_of(until)
+        )
+        while not self._stopped:
+            head = cal.peek(limit_idx)
+            if head is None:
                 break
-            batch_time = head.time
-            batch_priority = head.priority
+            batch_time = head[0]
+            if batch_time > until_v:
+                break
+            batch_priority = head[1]
             batch: list[EventHandle] = []
-            while (
-                heap
-                and heap[0].time == batch_time
-                and heap[0].priority == batch_priority
-            ):
-                ev = heapq.heappop(heap)
-                if ev.cancelled:
-                    ev.done = True
-                    continue
-                batch.append(ev)
+            while True:
+                entry = cal.peek(limit_idx)
+                if (
+                    entry is None
+                    or entry[0] != batch_time
+                    or entry[1] != batch_priority
+                ):
+                    break
+                cal.pop()
+                batch.append(entry[3])
             if len(batch) > 1:
                 self._tie_batches += 1
                 self._tie_events += len(batch)
             batch.reverse()
             self._now = batch_time
-            for pos, ev in enumerate(batch):
-                if ev.cancelled:
+            for pos, handle in enumerate(batch):
+                if handle.cancelled:
                     # Cancelled by an earlier batch member after the pop;
                     # cancel() already dropped the live counter.
-                    ev.done = True
+                    handle.done = True
+                    cal.dead -= 1
                     continue
-                ev.done = True
+                handle.done = True
                 self._live -= 1
-                ev.callback(*ev.args)
+                handle.callback(*handle.args)
                 self._executed += 1
                 if budget > 0:
                     budget -= 1
@@ -276,7 +461,10 @@ class Simulator:
                     # Put the unexecuted tail back on the calendar.
                     for rest in batch[pos + 1:]:
                         if not rest.cancelled:
-                            heapq.heappush(heap, rest)
+                            cal.push(rest)
+                        else:
+                            rest.done = True
+                            cal.dead -= 1
                     return
 
     def stop(self) -> None:
@@ -284,7 +472,9 @@ class Simulator:
         self._stopped = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        # pending_events, not len(calendar): lazy deletion keeps
+        # cancelled entries stored, and those are not pending work.
         return (
-            f"Simulator(now={self._now:.6f}, pending={len(self._heap)}, "
-            f"executed={self._executed})"
+            f"Simulator(now={self._now:.6f}, pending={self.pending_events}, "
+            f"executed={self._executed}, calendar={self._cal.kind!r})"
         )

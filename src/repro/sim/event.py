@@ -19,11 +19,19 @@ class EventHandle:
     ``done`` marks an event the run loop has already fired (or discarded
     after cancellation); it guards the owner's live-event counter
     against cancel-after-fire and double-cancel.
+
+    ``slot`` and ``pos`` are calendar bookkeeping (see
+    :mod:`repro.sim.calendar`): ``slot`` is the absolute wheel-slot
+    index while the entry sits in a wheel bucket, or a negative sentinel
+    (active heap / overflow heap / plain heap calendar); ``pos`` is the
+    handle's position inside that bucket. Together they make the
+    ``reschedule`` in-place move O(1) — the calendar jumps straight to
+    the entry, swap-removes it, and appends it to its new bucket.
     """
 
     __slots__ = (
         "time", "priority", "seq", "callback", "args", "cancelled", "done",
-        "owner",
+        "owner", "slot", "pos",
     )
 
     def __init__(
@@ -43,6 +51,8 @@ class EventHandle:
         self.cancelled = False
         self.done = False
         self.owner = owner
+        self.slot = -1
+        self.pos = 0
 
     def cancel(self) -> None:
         """Mark this event so the run loop skips it. Idempotent, and a

@@ -62,9 +62,11 @@ class PeriodicProcess:
     def _tick(self) -> None:
         if self._stopped:
             return
-        self._handle = self._sim.schedule_after(
-            self._interval, self._tick, priority=self._priority
-        )
+        # Re-arm the handle that just fired instead of allocating a new
+        # one each interval; sequencing is identical to a fresh schedule.
+        handle = self._handle
+        assert handle is not None
+        self._handle = self._sim.rearm(handle, self._sim.now + self._interval)
         self._callback(self._sim.now)
 
     def stop(self) -> None:

@@ -167,3 +167,44 @@ def test_scenario_drift_check_flag():
 
     assert ScenarioConfig().sct_drift_check is False
     assert ScenarioConfig(sct_drift_check=True).sct_drift_check is True
+
+
+def test_cli_run_calendar_check(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main([
+        "run", "conscale", "--scale", "150", "--duration", "60",
+        "--trace", "dual_phase", "--calendar-check",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "calendars equivalent" in out
+    assert "calendar equivalence ok" in out
+
+
+def test_cli_run_heap_calendar(capsys, tmp_path, monkeypatch):
+    """--calendar heap executes directly (no cache) on the heap loop."""
+    monkeypatch.chdir(tmp_path)
+    code = main([
+        "run", "conscale", "--scale", "150", "--duration", "60",
+        "--trace", "dual_phase", "--calendar", "heap",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "p99_ms" in out
+    assert not (tmp_path / "results" / "cache").exists()
+
+
+def test_cli_run_profile_writes_pstats(capsys, tmp_path, monkeypatch):
+    import pstats
+
+    monkeypatch.chdir(tmp_path)
+    code = main([
+        "run", "conscale", "--scale", "150", "--duration", "60",
+        "--trace", "dual_phase", "--profile",
+    ])
+    assert code == 0
+    dumps = list((tmp_path / "results").glob("profile_*.pstats"))
+    assert len(dumps) == 1
+    stats = pstats.Stats(str(dumps[0]))
+    assert stats.total_calls > 0
+    assert "dump written to" in capsys.readouterr().err

@@ -102,3 +102,68 @@ def test_late_registered_server_monitored_from_join():
     sim.run(until=8.0)
     fine = wh.fine_samples("db-1", window=100.0)
     assert fine and all(s.t_end > 5.0 for s in fine)
+
+
+def test_register_sampler_ticks_on_warehouse_cadence():
+    sim = Simulator()
+    wh = MetricWarehouse(sim, tick=1.0)
+    seen = []
+    proc = wh.register_sampler(seen.append)
+    sim.run(until=3.5)
+    assert seen == [1.0, 2.0, 3.0]
+    proc.stop()
+    sim.run(until=6.0)
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_register_sampler_observes_settled_tick():
+    """A sampler registered through the warehouse sees the warehouse's
+    own collection for the same instant already applied."""
+    sim = Simulator()
+    wh = MetricWarehouse(sim, tick=1.0)
+    wh.register_server(make_server(sim))
+    counts = []
+    wh.register_sampler(lambda now: counts.append(len(wh.samples(window=now + 1.0))))
+    sim.run(until=3.0)
+    assert counts == [1, 2, 3]
+
+
+def test_primary_resource_rename_raises():
+    """Differencing busy integrals across a renamed primary resource
+    would fabricate rates; the collector must refuse instead."""
+    from repro.ntier.capacity import CapacityModel, ContentionModel, Resource
+
+    sim = Simulator()
+    wh = MetricWarehouse(sim, tick=1.0)
+    server = make_server(sim)
+    wh.register_server(server)
+    sim.run(until=1.0)
+    server.set_capacity(
+        CapacityModel([Resource("gpu", 1.0, 0.1)], ContentionModel(0.0, 0.0))
+    )
+    with pytest.raises(MonitoringError, match="primary resource"):
+        sim.run(until=2.0)
+
+
+def test_vectorised_collection_matches_across_calendars():
+    """The numpy collection pass is calendar-independent."""
+    outputs = {}
+    for calendar in ("wheel", "heap"):
+        sim = Simulator(calendar=calendar)
+        wh = MetricWarehouse(sim, tick=1.0, fine_interval=0.25)
+        servers = [make_server(sim, f"db-{i}", "db") for i in range(3)]
+        for s in servers:
+            wh.register_server(s)
+        for i in range(30):
+            sim.schedule(
+                i * 0.1,
+                servers[i % 3].admit,
+                Request(i, "X", 0.0, {"db": 0.2}),
+                busy_flow(servers[i % 3], 0.2),
+            )
+        sim.run(until=5.0)
+        outputs[calendar] = [
+            (s.t_end, s.server, s.cpu, s.concurrency, s.throughput)
+            for s in wh.samples(window=10.0)
+        ]
+    assert outputs["wheel"] == outputs["heap"]

@@ -205,3 +205,37 @@ def test_many_sequential_batches_conserve_work():
     assert server.work_completions == 40
     # 40 jobs * 0.5 work at max rate 4 -> at least 5 time units
     assert sim.now >= 5.0 - 1e-9
+
+
+def test_outstanding_counts_admitted_and_queued():
+    """`outstanding` is the balancer's connection-count view: requests
+    holding a worker thread plus requests queued for one."""
+    sim = Simulator()
+    server = make_server(sim, a_sat=10, threads=2)
+    for i in range(5):
+        req = make_request(i)
+        server.admit(req, lambda r: server.work(r, 1.0, server.release))
+    assert server.outstanding == 5          # 2 admitted + 3 queued
+    assert server.admitted == 2
+    sim.run()
+    assert server.outstanding == 0
+    assert server.is_idle
+
+
+def test_ps_completions_identical_across_calendars():
+    """The tuple-keyed completion heap plus the reschedule fast path
+    must not change *when* any job finishes vs the heap calendar."""
+    results = {}
+    for calendar in ("wheel", "heap"):
+        sim = Simulator(calendar=calendar)
+        server = make_server(sim, a_sat=4, sigma=3e-3, kappa=2e-4)
+        done = []
+
+        def flow(r):
+            server.work(r, 0.4, lambda x: (server.release(x), done.append((x.req_id, sim.now))))
+
+        for i in range(30):
+            sim.schedule(i * 0.07, server.admit, make_request(i), flow)
+        sim.run()
+        results[calendar] = (done, sim.events_executed)
+    assert results["wheel"] == results["heap"]

@@ -1,0 +1,275 @@
+"""Tests for the pluggable event calendars (heap and two-level wheel)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.calendar import (
+    CALENDARS,
+    SLOT_ACTIVE,
+    SLOT_OVERFLOW,
+    HeapCalendar,
+    WheelCalendar,
+    make_calendar,
+)
+from repro.sim.engine import Simulator
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+
+def test_make_calendar_kinds():
+    assert isinstance(make_calendar("wheel"), WheelCalendar)
+    assert isinstance(make_calendar("heap"), HeapCalendar)
+    assert CALENDARS[0] == "wheel"  # documented default
+
+
+def test_make_calendar_unknown_kind_raises():
+    with pytest.raises(ValueError, match="unknown calendar kind"):
+        make_calendar("btree")
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_wheel_invalid_slot_width_raises(bad):
+    with pytest.raises(ValueError, match="slot_width"):
+        WheelCalendar(slot_width=bad)
+
+
+def test_wheel_invalid_nslots_raises():
+    with pytest.raises(ValueError, match="nslots"):
+        WheelCalendar(nslots=1)
+
+
+# ----------------------------------------------------------------------
+# wheel tier routing (exercised through the owning simulator)
+# ----------------------------------------------------------------------
+
+def _wheel_sim(slot=0.5, nslots=8):
+    return Simulator(calendar="wheel", wheel_slot=slot, wheel_slots=nslots)
+
+
+def _noop():
+    return None
+
+
+def test_push_routes_by_slot_distance():
+    sim = _wheel_sim()  # horizon = 8 * 0.5 s = 4 s
+    cal = sim._cal
+    near = sim.schedule(1.2, _noop)     # slot 2: in the wheel
+    far = sim.schedule(100.0, _noop)    # slot 200: beyond the horizon
+    now = sim.schedule(0.0, _noop)      # slot 0 = cursor: active heap
+    assert near.slot == 2
+    assert far.slot == SLOT_OVERFLOW
+    assert now.slot == SLOT_ACTIVE
+    assert cal.wheel_count == 1
+    assert len(cal.overflow) == 1
+    assert len(cal) == 3
+
+
+def test_bucket_position_tracks_swap_remove():
+    sim = _wheel_sim()
+    a = sim.schedule(1.2, _noop)
+    b = sim.schedule(1.3, _noop)
+    c = sim.schedule(1.4, _noop)
+    assert [a.pos, b.pos, c.pos] == [0, 1, 2]
+    # Moving `a` out swap-removes it: `c` takes its position.
+    moved = sim.reschedule(a, 2.2)
+    assert moved is a  # in-place move, same handle object
+    assert a.slot == 4
+    assert c.pos == 0 and b.pos == 1
+
+
+def test_move_declined_for_active_and_overflow_entries():
+    sim = _wheel_sim()
+    cal = sim._cal
+    active = sim.schedule(0.1, _noop)   # cursor slot -> active heap
+    far = sim.schedule(100.0, _noop)    # overflow
+    assert cal.move(active, 0.2, 999) is False
+    assert cal.move(far, 101.0, 999) is False
+
+
+def test_reschedule_tombstones_heap_entries():
+    sim = _wheel_sim()
+    far = sim.schedule(100.0, _noop)
+    fresh = sim.reschedule(far, 101.0)
+    assert fresh is not far       # tombstone path: new handle
+    assert far.cancelled
+    assert not fresh.cancelled
+    seen = []
+    sim.schedule(0.5, seen.append, "early")
+    sim.run(until=200.0)
+    assert seen == ["early"]
+    assert fresh.done
+
+
+def test_wheel_horizon_rollover_reuses_ring_slots():
+    """Events more than one revolution apart share ``index % nslots``
+    but must never fire out of order: the far one waits in overflow
+    until the cursor reaches its revolution."""
+    sim = _wheel_sim(slot=0.5, nslots=8)  # horizon 4 s
+    seen = []
+    # Slot 2 and slot 10 map to the same ring position (2 % 8 == 10 % 8).
+    sim.schedule(5.2, seen.append, "second-rev")
+    sim.schedule(1.2, seen.append, "first-rev")
+    sim.run()
+    assert seen == ["first-rev", "second-rev"]
+
+
+def test_overflow_migrates_into_wheel_as_cursor_advances():
+    sim = _wheel_sim(slot=0.5, nslots=8)
+    cal = sim._cal
+    order = []
+    for t in (3.9, 4.1, 7.9, 12.3, 0.2):
+        sim.schedule(t, order.append, t)
+    assert len(cal.overflow) == 3  # 4.1, 7.9, 12.3 are beyond the horizon
+    sim.run()
+    assert order == [0.2, 3.9, 4.1, 7.9, 12.3]
+    assert len(cal) == 0
+
+
+def test_until_parks_cursor_without_skipping_events():
+    """A time-limited run must not drag the cursor past events that
+    were cut off by ``until``; they fire on the next run()."""
+    sim = _wheel_sim(slot=0.5, nslots=8)
+    seen = []
+    sim.schedule(6.0, seen.append, "late")
+    sim.run(until=2.0)
+    assert seen == [] and sim.now == 2.0
+    sim.schedule(2.5, seen.append, "mid")  # scheduled after the pause
+    sim.run()
+    assert seen == ["mid", "late"]
+
+
+def test_cancelled_overflow_heads_are_discarded_on_advance():
+    sim = _wheel_sim(slot=0.5, nslots=8)
+    cal = sim._cal
+    doomed = sim.schedule(50.0, _noop)
+    sim.schedule(60.0, _noop)
+    doomed.cancel()
+    assert cal.dead == 1
+    sim.run()
+    assert cal.dead == 0
+    assert doomed.done
+
+
+# ----------------------------------------------------------------------
+# compaction
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("calendar", CALENDARS)
+def test_compaction_triggers_when_dead_exceed_live(calendar):
+    sim = Simulator(calendar=calendar)
+    handles = [sim.schedule(10.0 + i * 0.001, _noop) for i in range(200)]
+    survivors = handles[:10]
+    for h in handles[10:]:
+        h.cancel()
+    stats = sim.calendar_stats()
+    assert stats["compactions"] >= 1
+    assert stats["dead"] < 190  # the debt was actually dropped
+    sim.run()
+    assert all(h.done for h in survivors)
+    assert sim.events_executed == 10
+
+
+def test_wheel_compaction_rebuilds_bucket_positions():
+    sim = _wheel_sim(slot=0.5, nslots=8)
+    cal = sim._cal
+    keep = [sim.schedule(1.2, _noop) for _ in range(3)]
+    doomed = [sim.schedule(1.3, _noop) for _ in range(6)]
+    for h in doomed:
+        h.cancel()
+    cal.compact()
+    assert cal.dead == 0 and cal.wheel_count == 3
+    bucket = cal.buckets[2 % cal.nslots]
+    assert [h.pos for h in bucket] == list(range(len(bucket)))
+    # Positions must still support the O(1) move after the rebuild.
+    fresh = sim.reschedule(keep[0], 2.2)
+    assert fresh is keep[0]
+
+
+def test_compaction_during_run_keeps_loop_alive():
+    """A compaction triggered by a callback's cancels must not strand
+    the run loop: the active heap is rebuilt in place."""
+    sim = Simulator(calendar="wheel")
+    seen = []
+    victims = [sim.schedule(5.0 + i * 1e-4, _noop) for i in range(300)]
+
+    def massacre():
+        for v in victims:
+            v.cancel()
+        seen.append("massacre")
+
+    sim.schedule(1.0, massacre)
+    sim.schedule(6.0, seen.append, "after")
+    sim.run()
+    assert seen == ["massacre", "after"]
+    assert sim.calendar_stats()["compactions"] >= 1
+    assert sim.pending_events == 0
+
+
+# ----------------------------------------------------------------------
+# heap calendar specifics
+# ----------------------------------------------------------------------
+
+def test_heap_calendar_peek_discards_cancelled_heads():
+    sim = Simulator(calendar="heap")
+    doomed = sim.schedule(1.0, _noop)
+    live = sim.schedule(2.0, _noop)
+    doomed.cancel()
+    entry = sim._cal.peek(0)
+    assert entry is not None and entry[3] is live
+    assert doomed.done  # discarded on the way
+
+
+def test_heap_calendar_stats_shape():
+    sim = Simulator(calendar="heap")
+    sim.schedule(1.0, _noop)
+    assert sim.calendar_stats() == {"stored": 1, "dead": 0, "compactions": 0}
+
+
+# ----------------------------------------------------------------------
+# property: the two calendars execute identical sequences
+# ----------------------------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["schedule", "cancel", "reschedule"]),
+        st.integers(min_value=0, max_value=5000),  # time in ms
+        st.integers(min_value=0, max_value=30),    # target handle index
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _execute_program(calendar, program):
+    """Run a schedule/cancel/reschedule program; return the event trace."""
+    sim = Simulator(
+        calendar=calendar, wheel_slot=0.016, wheel_slots=64
+    )  # ~1 s horizon, so the program crosses it constantly
+    trace = []
+    handles = []
+
+    def fire(tag):
+        trace.append((round(sim.now, 6), tag))
+
+    for step, (op, ms, target) in enumerate(program):
+        time = ms / 1000.0
+        if op == "schedule" or not handles:
+            handles.append(sim.schedule(time + 5.0, fire, step))
+        elif op == "cancel":
+            handles[target % len(handles)].cancel()
+        else:
+            h = handles[target % len(handles)]
+            if not (h.done or h.cancelled):
+                handles[target % len(handles)] = sim.reschedule(h, time + 5.0)
+    sim.run()
+    trace.append(("executed", sim.events_executed))
+    return trace
+
+
+@settings(max_examples=120, deadline=None)
+@given(program=_ops)
+def test_heap_and_wheel_execute_identically(program):
+    assert _execute_program("heap", program) == _execute_program("wheel", program)

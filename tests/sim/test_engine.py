@@ -194,3 +194,167 @@ def test_callback_scheduling_more_events():
     sim.run()
     assert seen == [0, 1, 2, 3, 4]
     assert sim.now == 4.0
+
+
+# ----------------------------------------------------------------------
+# reschedule / rearm (the churn-free fast paths)
+# ----------------------------------------------------------------------
+
+def test_reschedule_moves_event_to_new_time():
+    for calendar in ("wheel", "heap"):
+        sim = Simulator(calendar=calendar)
+        seen = []
+        h = sim.schedule(1.0, seen.append, "x")
+        sim.reschedule(h, 3.0)
+        sim.schedule(2.0, seen.append, "y")
+        sim.run()
+        assert seen == ["y", "x"], calendar
+        assert sim.now == 3.0
+
+
+def test_reschedule_already_fired_raises():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ScheduleError, match="already-fired"):
+        sim.reschedule(h, 2.0)
+
+
+def test_reschedule_cancelled_raises():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    h.cancel()
+    with pytest.raises(ScheduleError, match="cancelled"):
+        sim.reschedule(h, 2.0)
+
+
+def test_reschedule_foreign_handle_raises():
+    sim, other = Simulator(), Simulator()
+    h = other.schedule(1.0, lambda: None)
+    with pytest.raises(ScheduleError, match="foreign"):
+        sim.reschedule(h, 2.0)
+
+
+def test_reschedule_into_past_raises():
+    sim = Simulator()
+    h = sim.schedule(5.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=3.0)
+    with pytest.raises(ScheduleError, match="clock is at"):
+        sim.reschedule(h, 1.0)
+
+
+def test_reschedule_sequences_as_fresh_schedule():
+    """A rescheduled event runs after events already pending at the same
+    instant, exactly like a cancel+schedule pair would."""
+    for calendar in ("wheel", "heap"):
+        sim = Simulator(calendar=calendar)
+        seen = []
+        moved = sim.schedule(1.0, seen.append, "moved")
+        sim.schedule(2.0, seen.append, "resident")
+        sim.reschedule(moved, 2.0)
+        sim.run()
+        assert seen == ["resident", "moved"], calendar
+
+
+def test_rearm_refires_same_handle():
+    sim = Simulator()
+    seen = []
+
+    def tick():
+        seen.append(sim.now)
+        if len(seen) < 3:
+            sim.rearm(h, sim.now + 1.0)
+
+    h = sim.schedule(1.0, tick)
+    sim.run()
+    assert seen == [1.0, 2.0, 3.0]
+    assert h.done
+
+
+def test_rearm_pending_handle_raises():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    with pytest.raises(ScheduleError, match="still-pending"):
+        sim.rearm(h, 2.0)
+
+
+def test_rearm_cancelled_handle_raises():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    h.cancel()
+    sim.run()
+    with pytest.raises(ScheduleError, match="cancelled"):
+        sim.rearm(h, 2.0)
+
+
+def test_rearmed_handle_can_be_cancelled():
+    sim = Simulator()
+    seen = []
+
+    def tick():
+        seen.append(sim.now)
+        sim.rearm(h, sim.now + 1.0)
+        if sim.now >= 2.0:
+            h.cancel()
+
+    h = sim.schedule(1.0, tick)
+    sim.run(until=10.0)
+    assert seen == [1.0, 2.0]
+
+
+# ----------------------------------------------------------------------
+# budget exhaustion inside a permuted concurrent batch
+# ----------------------------------------------------------------------
+
+def test_max_events_mid_batch_reverse_tie_order():
+    """Exhausting max_events halfway through a reversed batch must keep
+    the unexecuted tail schedulable, and a later run() finishes it."""
+    for calendar in ("wheel", "heap"):
+        sim = Simulator(tie_order="reverse", calendar=calendar)
+        seen = []
+        for tag in ("a", "b", "c", "d", "e"):
+            sim.schedule(1.0, seen.append, tag)
+        sim.run(max_events=3)
+        assert seen == ["e", "d", "c"], calendar
+        assert sim.pending_events == 2
+        sim.run()
+        assert seen == ["e", "d", "c", "b", "a"], calendar
+        assert sim.pending_events == 0
+
+
+def test_max_events_mid_batch_preserves_cancelled_tail():
+    sim = Simulator(tie_order="reverse")
+    seen = []
+    handles = [sim.schedule(1.0, seen.append, tag) for tag in "abcde"]
+    handles[0].cancel()  # tail member under reversal
+    sim.run(max_events=3)
+    assert seen == ["e", "d", "c"]
+    sim.run()
+    assert seen == ["e", "d", "c", "b"]
+    assert handles[0].done and handles[0].cancelled
+
+
+# ----------------------------------------------------------------------
+# calendar selection and introspection
+# ----------------------------------------------------------------------
+
+def test_calendar_property_and_default():
+    assert Simulator().calendar == "wheel"
+    assert Simulator(calendar="heap").calendar == "heap"
+
+
+def test_unknown_calendar_raises():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="calendar"):
+        Simulator(calendar="splay")
+
+
+def test_repr_reports_live_pending_and_calendar():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(3)]
+    handles[0].cancel()
+    text = repr(sim)
+    assert "pending=2" in text       # live count, not raw storage
+    assert "calendar='wheel'" in text

@@ -61,3 +61,26 @@ def test_stop_is_idempotent():
     proc.stop()
     proc.stop()
     sim.run(until=3.0)
+
+
+def test_ticks_reuse_one_event_handle():
+    """The periodic chain re-arms the fired handle instead of allocating
+    a fresh event per tick."""
+    sim = Simulator()
+    handles = []
+    proc = PeriodicProcess(sim, 1.0, lambda t: handles.append(proc._handle))
+    sim.run(until=4.5)
+    assert len(handles) == 4
+    assert len({id(h) for h in handles}) == 1
+    assert handles[0] is proc._handle
+
+
+def test_periodic_ticks_identical_across_calendars():
+    traces = {}
+    for calendar in ("wheel", "heap"):
+        sim = Simulator(calendar=calendar)
+        ticks = []
+        PeriodicProcess(sim, 0.05, ticks.append)
+        sim.run(until=1.0)
+        traces[calendar] = (ticks, sim.events_executed)
+    assert traces["wheel"] == traces["heap"]
