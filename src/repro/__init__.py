@@ -34,23 +34,37 @@ from repro.errors import ReproError
 from repro.experiments.artifact import RunArtifact, RunOverrides, RunSpec
 from repro.experiments.diff import ArtifactDiff, diff_artifacts
 from repro.experiments.engine import ExperimentEngine
-from repro.experiments.runner import (
-    FRAMEWORKS,
-    ExperimentResult,
-    execute_spec,
-    run_experiment,
-)
+from repro.experiments.runner import ExperimentResult, execute_spec, run_experiment
 from repro.experiments.scenarios import ScenarioConfig
 from repro.ntier.app import NTierApplication, SoftResourceAllocation
 from repro.rng import RngRegistry
 from repro.scaling.conscale import ConScaleController
 from repro.scaling.dcm import DCMController, DcmTrainedProfile
 from repro.scaling.ec2 import EC2AutoScaling
+from repro.scaling.mpc import MPCHybridController
 from repro.scaling.predictive import PredictiveAutoScaling
+from repro.scaling.qos import QoSRobustController
+from repro.scaling.registry import (
+    ControllerContext,
+    ControllerSpec,
+    ParamSpec,
+    get_controller,
+    register_controller,
+    registered_frameworks,
+)
 from repro.sct.model import SCTEstimate, SCTModel
 from repro.sim.engine import Simulator
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # Deprecated alias: the framework tuple is registry-derived now.
+    # Use registered_frameworks() (kept dynamic so controllers
+    # registered after import — e.g. plugins — are included).
+    if name == "FRAMEWORKS":
+        return registered_frameworks()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ReproError",
@@ -77,6 +91,14 @@ __all__ = [
     "DcmTrainedProfile",
     "EC2AutoScaling",
     "PredictiveAutoScaling",
+    "MPCHybridController",
+    "QoSRobustController",
+    "ControllerContext",
+    "ControllerSpec",
+    "ParamSpec",
+    "get_controller",
+    "register_controller",
+    "registered_frameworks",
     "SCTEstimate",
     "SCTModel",
     "Simulator",

@@ -2,11 +2,15 @@
 
 Commands:
 
-* ``run`` — one scenario under one framework, print the tail summary;
+* ``run`` — one scenario under one framework, print the tail summary
+  (``--param key=value`` sets registered controller parameters);
 * ``diff`` — compare the decision traces of two cached runs of the
   same scenario (e.g. two ConScale headroom settings): first
   divergence, per-tier cap-decision deltas, tail-latency deltas;
-* ``compare`` — all four frameworks on one trace (JSON/HTML export);
+* ``compare`` — every registered framework on one trace (JSON/HTML
+  export);
+* ``controllers`` — list the registered controllers with their
+  parameter schemas and decision-event kinds (``--json`` for machines);
 * ``resilience`` — the fault-injection suite: every framework crossed
   with each fault class on a bursty trace, with failed/retried counts
   and per-fault recovery times;
@@ -64,8 +68,13 @@ from repro.experiments.resilience import (
     resilience_rows,
     resilience_suite,
 )
-from repro.experiments.runner import FRAMEWORKS
 from repro.experiments.scenarios import ScenarioConfig
+from repro.scaling.registry import (
+    controller_specs,
+    get_controller,
+    parse_cli_params,
+    registered_frameworks,
+)
 from repro.experiments.sweep import concurrency_sweep
 from repro.faults.plan import parse_faults
 from repro.sim.calendar import CALENDARS
@@ -197,13 +206,23 @@ _TAIL_HEADERS = [
 ]
 
 
-def _run_overrides(framework: str, headroom: float | None) -> RunOverrides:
-    if headroom is not None and framework != "conscale":
-        raise ConfigurationError(
-            f"--headroom only applies to the conscale framework, "
-            f"not {framework!r}"
+def _run_overrides(
+    framework: str,
+    params: list[str] | None,
+    headroom: float | None,
+) -> RunOverrides:
+    """Controller params from ``--param`` plus the deprecated aliases.
+
+    ``--headroom`` maps onto the generic ``headroom`` parameter; on a
+    framework without one the registry rejects it with the valid
+    parameter names listed. An explicit ``--param headroom=`` wins.
+    """
+    merged = parse_cli_params(framework, params or [])
+    if headroom is not None and "headroom" not in merged:
+        merged["headroom"] = get_controller(framework).param("headroom").coerce(
+            headroom
         )
-    return RunOverrides(conscale_headroom=headroom)
+    return RunOverrides.from_params(merged or None)
 
 
 def _direct_run(spec: RunSpec, args: argparse.Namespace):
@@ -250,7 +269,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     spec = RunSpec(
         args.framework,
         _config(args),
-        _run_overrides(args.framework, args.headroom),
+        _run_overrides(args.framework, args.param, args.headroom),
         faults=parse_faults(args.faults),
     )
     if args.calendar_check:
@@ -311,12 +330,12 @@ def cmd_diff(args: argparse.Namespace) -> int:
     config = _config(args)
     spec_a = RunSpec(
         args.framework, config,
-        _run_overrides(args.framework, args.headroom_a),
+        _run_overrides(args.framework, args.param_a, args.headroom_a),
         faults=parse_faults(args.faults_a),
     )
     spec_b = RunSpec(
         args.framework, config,
-        _run_overrides(args.framework, args.headroom_b),
+        _run_overrides(args.framework, args.param_b, args.headroom_b),
         faults=parse_faults(args.faults_b),
     )
     if spec_a == spec_b:
@@ -340,10 +359,11 @@ def cmd_diff(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     engine = _engine(args)
     config = _config(args)
-    results = engine.run_many(RunSpec(fw, config) for fw in FRAMEWORKS)
+    frameworks = registered_frameworks()
+    results = engine.run_many(RunSpec(fw, config) for fw in frameworks)
     rows = []
     summaries = []
-    for framework, result in zip(FRAMEWORKS, results):
+    for framework, result in zip(frameworks, results):
         rows.append(_tail_row(framework, result))
         if args.save or args.html:
             from repro.experiments.persistence import result_summary
@@ -371,16 +391,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_resilience(args: argparse.Namespace) -> int:
     """Run the resilience suite: frameworks x fault classes."""
+    registered = registered_frameworks()
     if args.frameworks:
         frameworks = tuple(
             f.strip() for f in args.frameworks.split(",") if f.strip()
         )
-        unknown = sorted(set(frameworks) - set(FRAMEWORKS))
+        unknown = sorted(set(frameworks) - set(registered))
         if unknown:
             print(f"unknown frameworks: {', '.join(unknown)}", file=sys.stderr)
             return 2
     else:
-        frameworks = FRAMEWORKS
+        frameworks = registered
     engine = _engine(args)
     specs = resilience_suite(
         load_scale=args.scale,
@@ -392,6 +413,38 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     results = engine.run_many(specs)
     print(format_table(RESILIENCE_HEADERS, resilience_rows(results)))
     _report_cache(engine)
+    return 0
+
+
+def cmd_controllers(args: argparse.Namespace) -> int:
+    """List the registered controllers and their parameter schemas."""
+    specs = controller_specs()
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {"version": 1, "controllers": [s.describe() for s in specs]},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    rows = []
+    for spec in specs:
+        params = ", ".join(
+            f"{p.name}={p.default!r}" if p.cli else f"{p.name}=<object>"
+            for p in spec.params
+        )
+        rows.append(
+            (
+                spec.name,
+                params or "-",
+                ", ".join(spec.decision_kinds) or "-",
+                spec.summary,
+            )
+        )
+    print(format_table(
+        ["framework", "params (defaults)", "extra decision kinds", "summary"],
+        rows,
+    ))
     return 0
 
 
@@ -578,15 +631,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run one framework on one trace")
-    p_run.add_argument("framework", choices=FRAMEWORKS)
+    p_run.add_argument("framework", choices=registered_frameworks())
     _add_common_run_args(p_run)
     _add_engine_args(p_run)
     p_run.add_argument("--save", default=None,
                        help="write a JSON result summary to this path")
     p_run.add_argument("--save-artifact", default=None,
                        help="pickle the full run artifact to this path")
+    p_run.add_argument(
+        "--param", action="append", default=None, metavar="NAME=VALUE",
+        help="set a controller parameter (repeatable; see "
+        "`repro controllers` for each framework's schema)",
+    )
     p_run.add_argument("--headroom", type=float, default=None,
-                       help="ConScale headroom override (conscale only)")
+                       help="deprecated alias for --param headroom=H")
     p_run.add_argument(
         "--faults", default=None, metavar="PLAN",
         help="comma-separated fault plan, e.g. 'crash:db:120' or "
@@ -621,16 +679,24 @@ def build_parser() -> argparse.ArgumentParser:
         "diff",
         help="diff the decision traces of two cached runs of one scenario",
     )
-    p_diff.add_argument("framework", choices=FRAMEWORKS)
+    p_diff.add_argument("framework", choices=registered_frameworks())
     _add_common_run_args(p_diff)
     p_diff.add_argument(
         "--cache-dir", default=DEFAULT_CACHE_DIR,
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+    p_diff.add_argument(
+        "--param-a", action="append", default=None, metavar="NAME=VALUE",
+        help="controller parameter of side A (repeatable)",
+    )
+    p_diff.add_argument(
+        "--param-b", action="append", default=None, metavar="NAME=VALUE",
+        help="controller parameter of side B (repeatable)",
+    )
     p_diff.add_argument("--headroom-a", type=float, default=None,
-                        help="ConScale headroom of side A (conscale only)")
+                        help="deprecated alias for --param-a headroom=H")
     p_diff.add_argument("--headroom-b", type=float, default=None,
-                        help="ConScale headroom of side B (conscale only)")
+                        help="deprecated alias for --param-b headroom=H")
     p_diff.add_argument(
         "--material-only", action="store_true",
         help="ignore no-op ticks when locating the first divergence",
@@ -641,7 +707,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault plan of side B (see `run --faults`)")
     p_diff.set_defaults(func=cmd_diff)
 
-    p_cmp = sub.add_parser("compare", help="run all frameworks on one trace")
+    p_ctrl = sub.add_parser(
+        "controllers",
+        help="list registered controllers, their params and event kinds",
+    )
+    p_ctrl.add_argument("--json", action="store_true",
+                        help="machine-readable JSON on stdout")
+    p_ctrl.set_defaults(func=cmd_controllers)
+
+    p_cmp = sub.add_parser(
+        "compare", help="run every registered framework on one trace"
+    )
     _add_common_run_args(p_cmp)
     _add_engine_args(p_cmp)
     p_cmp.add_argument("--save", default=None,

@@ -28,10 +28,15 @@ __all__ = [
     "THRESHOLD_TRIP",
     "NOOP",
     "STALE_HOLD",
+    "FORECAST",
+    "MPC_CORRECTION",
+    "QOS_CONSTRAINT",
     "HARDWARE_KINDS",
     "SOFT_KINDS",
     "POLICY_KINDS",
+    "ADVISORY_KINDS",
     "FAULT_KINDS",
+    "declared_kinds",
 ]
 
 #: A tier's threshold policy decided to scale ("out"/"in" in ``detail``).
@@ -59,8 +64,25 @@ SOFT_KINDS = (
     "soft_db_connections",
 )
 
+#: A controller published a workload forecast (``estimate`` carries the
+#: forecast tier throughput; ``reason`` the trend it extrapolated).
+FORECAST = "forecast"
+#: An MPC controller corrected a concurrency cap against its queueing
+#: model (``value`` is the chosen cap, ``estimate`` the model-predicted
+#: throughput at that cap).
+MPC_CORRECTION = "mpc_correction"
+#: A QoS controller observed its latency chance constraint violated
+#: (``value`` counts consecutive breach ticks, ``estimate`` carries the
+#: measured violation probability).
+QOS_CONSTRAINT = "qos_constraint"
+
 #: Kinds emitted by the decision loop itself rather than the actuator.
 POLICY_KINDS = (THRESHOLD_TRIP, NOOP, STALE_HOLD)
+
+#: Advisory kinds: model-internal reasoning steps (forecasts, model
+#: corrections, constraint checks) that explain a controller's actions
+#: without themselves changing any resource.
+ADVISORY_KINDS = (FORECAST, MPC_CORRECTION, QOS_CONSTRAINT)
 
 #: Fault-injection lifecycle kinds: every activation/recovery the
 #: injector performs, plus the resilience reactions of the actuator
@@ -72,6 +94,19 @@ FAULT_KINDS = (
     "scale_out_failed",
     "scale_out_retry",
 )
+
+
+def declared_kinds() -> frozenset[str]:
+    """The complete decision-event vocabulary.
+
+    The controller registry validates every registered controller's
+    declared decision kinds against this set, closing the loop with the
+    ``event-kinds`` lint rule (which checks literal kinds at emission
+    sites against the same module-level declarations).
+    """
+    return frozenset(
+        POLICY_KINDS + ADVISORY_KINDS + HARDWARE_KINDS + SOFT_KINDS + FAULT_KINDS
+    )
 
 
 @dataclass(frozen=True, slots=True)

@@ -157,7 +157,7 @@ def headroom_ablation(
         specs.append(
             RunSpec(
                 "conscale", config,
-                RunOverrides(conscale_headroom=float(headroom)),
+                RunOverrides.from_params({"headroom": float(headroom)}),
             )
         )
     artifacts = inline_engine(engine).run_many(specs)

@@ -35,9 +35,9 @@ from repro.faults.plan import FaultPlan
 from repro.faults.summary import ResilienceSummary
 from repro.monitoring.percentiles import TailSummary, tail_summary
 from repro.monitoring.records import TimelineBin
-from repro.scaling.dcm import DcmTrainedProfile
 from repro.scaling.estimator import TierEstimate
 from repro.scaling.policy import TierPolicyConfig
+from repro.scaling.registry import get_controller, registered_frameworks
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -61,15 +61,28 @@ __all__ = [
 #: warehouse collects in name order; the signature now also covers
 #: ``interactions``/``generated``/``completed`` and the fine-series
 #: tier column. Runs are bit-different from v3, so v3 caches are stale.
-SCHEMA_VERSION = 4
+#: v5: controllers moved to the plugin registry and
+#: :class:`RunOverrides` replaced its framework-specific fields
+#: (``dcm_profile``/``conscale_headroom``) with the generic
+#: ``controller_params`` tuple — the spec's field layout (and hence its
+#: canonical encoding) changed, so v4 digests name different content.
+SCHEMA_VERSION = 5
 
 #: Older artifact schemas that still load (``DecisionTrace`` upgrades
 #: their pickled ``ActionLog`` transparently; pre-fault artifacts read
 #: as fault-free). The result *cache* only accepts the current version;
 #: this set is for explicitly saved artifact files.
-COMPAT_SCHEMAS = frozenset({1, 2, 3, SCHEMA_VERSION})
+COMPAT_SCHEMAS = frozenset({1, 2, 3, 4, SCHEMA_VERSION})
 
-FRAMEWORKS = ("ec2", "dcm", "conscale", "predictive")
+
+def __getattr__(name: str):
+    # Deprecated: the static FRAMEWORKS tuple became registry-derived.
+    # Import registered_frameworks() (or the registry itself) instead;
+    # this hook keeps `from repro.experiments.artifact import FRAMEWORKS`
+    # working — and seeing controllers registered after import time.
+    if name == "FRAMEWORKS":
+        return registered_frameworks()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 # Grace period after the trace ends for in-flight requests to drain
 # (also the horizon padding of the artifact's timeline).
@@ -147,26 +160,60 @@ class RunOverrides:
     :class:`ScenarioConfig` or here — the content digest covers both,
     and out-of-band mutation (the old monkeypatching ablation style)
     would silently alias distinct runs in the cache.
+
+    ``controller_params`` holds framework-specific knobs as sorted
+    ``(name, value)`` pairs, validated and normalised against the
+    controller's registered parameter schema when a :class:`RunSpec` is
+    built (so ``headroom=1`` and ``headroom=1.0`` spell one digest).
+    Only *explicitly supplied* params are stored — schema defaults stay
+    out of the digest, so registering a new parameter later cannot
+    invalidate existing caches.
     """
 
     # (tier, policy) pairs instead of a dict, so the spec stays frozen.
     policy_overrides: tuple[tuple[str, TierPolicyConfig], ...] | None = None
-    dcm_profile: DcmTrainedProfile | None = None
-    conscale_headroom: float | None = None
+    controller_params: tuple[tuple[str, object], ...] | None = None
+
+    def __post_init__(self) -> None:
+        params = self.controller_params
+        if params is None:
+            return
+        if isinstance(params, dict):
+            params = tuple(params.items())
+        pairs = tuple(sorted(((str(k), v) for k, v in params),
+                             key=lambda kv: kv[0]))
+        names = [k for k, _ in pairs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"duplicate controller param(s) in overrides: {names}"
+            )
+        object.__setattr__(self, "controller_params", pairs or None)
+
+    @classmethod
+    def from_params(
+        cls,
+        params: dict[str, object] | None,
+        policy_overrides: tuple[tuple[str, TierPolicyConfig], ...] | None = None,
+    ) -> "RunOverrides":
+        """Build overrides from a plain ``{param: value}`` dict."""
+        return cls(
+            policy_overrides=policy_overrides,
+            controller_params=tuple(params.items()) if params else None,
+        )
 
     @property
     def empty(self) -> bool:
-        return (
-            self.policy_overrides is None
-            and self.dcm_profile is None
-            and self.conscale_headroom is None
-        )
+        return self.policy_overrides is None and self.controller_params is None
 
     def policy_dict(self) -> dict[str, TierPolicyConfig] | None:
         """The runner-facing ``{tier: policy}`` view."""
         if self.policy_overrides is None:
             return None
         return dict(self.policy_overrides)
+
+    def params_dict(self) -> dict[str, object]:
+        """The explicitly supplied controller params as a dict."""
+        return dict(self.controller_params or ())
 
 
 @dataclass(frozen=True, eq=False)
@@ -182,9 +229,20 @@ class RunSpec:
     faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
-        if self.framework not in FRAMEWORKS:
-            raise ConfigurationError(
-                f"framework must be one of {FRAMEWORKS}, got {self.framework!r}"
+        # Unknown frameworks fail here with the registered names listed.
+        controller = get_controller(self.framework)
+        if self.overrides.controller_params is not None:
+            # Coerce params against the registered schema so equivalent
+            # spellings of a value normalise to one digest, and typo'd
+            # param names fail at spec construction, not mid-run.
+            coerced = controller.coerce_params(self.overrides.params_dict())
+            object.__setattr__(
+                self,
+                "overrides",
+                dataclasses.replace(
+                    self.overrides,
+                    controller_params=tuple(coerced.items()),
+                ),
             )
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise ConfigurationError(

@@ -170,16 +170,29 @@ def _tail_ms(artifact: RunArtifact) -> dict[str, float]:
     }
 
 
+def _param_str(name: str, value) -> str:
+    """One ``name=value`` label fragment, schema-agnostic.
+
+    Floats render with ``:g`` (so ``headroom=3.0`` reads ``headroom=3``);
+    structured values (e.g. a trained DCM profile) render as their type
+    name rather than their repr, which would bloat the label.
+    """
+    if isinstance(value, float):
+        return f"{name}={value:g}"
+    if value is None or isinstance(value, (bool, int, str)):
+        return f"{name}={value}"
+    return f"{name}=<{type(value).__qualname__}>"
+
+
 def _label(artifact: RunArtifact) -> str:
     spec = artifact.spec
-    extras = []
     over = spec.overrides
-    if over.conscale_headroom is not None:
-        extras.append(f"headroom={over.conscale_headroom:g}")
+    extras = [
+        _param_str(name, value)
+        for name, value in sorted(over.params_dict().items())
+    ]
     if over.policy_overrides is not None:
         extras.append("policy-overrides")
-    if over.dcm_profile is not None:
-        extras.append(f"dcm-profile={over.dcm_profile.trained_on}")
     suffix = f" [{', '.join(extras)}]" if extras else ""
     return f"{spec.label}{suffix} ({spec.digest()[:12]})"
 

@@ -2,18 +2,19 @@
 
 Closes the loop on fault injection the same way ``figures``/``table1``
 close it on the paper's evaluation: a declarative grid of
-:class:`RunSpec`\\ s — all four frameworks crossed with each fault
-class on a bursty trace, plus the fault-free baselines — and a tabular
-per-run summary (failed/retried counts, time-to-recover after each
-fault) computed from the artifacts' resilience summaries.
+:class:`RunSpec`\\ s — every registered framework crossed with each
+fault class on a bursty trace, plus the fault-free baselines — and a
+tabular per-run summary (failed/retried counts, time-to-recover after
+each fault) computed from the artifacts' resilience summaries.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.artifact import FRAMEWORKS, RunSpec
+from repro.experiments.artifact import RunSpec
 from repro.experiments.scenarios import ScenarioConfig
+from repro.scaling.registry import registered_frameworks
 from repro.faults.plan import (
     ClientTimeoutSpec,
     FaultPlan,
@@ -81,15 +82,19 @@ def resilience_suite(
     load_scale: float = 50.0,
     duration: float = 300.0,
     seed: int = 3,
-    frameworks: tuple[str, ...] = FRAMEWORKS,
+    frameworks: tuple[str, ...] | None = None,
     trace_name: str = "quickly_varying",
 ) -> list[RunSpec]:
     """All requested frameworks crossed with every fault class.
 
+    ``frameworks`` defaults to every *registered* framework at call
+    time, so plugged-in controllers join the grid automatically.
     Returns the grid in a stable order: frameworks outer, fault
     classes inner ("none" first — the baseline each faulted run is
     compared against).
     """
+    if frameworks is None:
+        frameworks = registered_frameworks()
     config = resilience_scenario(load_scale, duration, seed, trace_name)
     plans = resilience_fault_plans(duration)
     return [

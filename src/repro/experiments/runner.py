@@ -21,13 +21,11 @@ from repro.analysis.series import group_mean_by_time
 from repro.errors import ConfigurationError
 from repro.experiments.artifact import (
     DRAIN_GRACE,
-    FRAMEWORKS,
     FineSeries,
     RunArtifact,
     RunOverrides,
     RunSpec,
 )
-from repro.experiments.calibration import app_capacity, db_capacity_cpu
 from repro.experiments.scenarios import ScenarioConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.summary import ResilienceSummary, build_resilience_summary
@@ -39,15 +37,16 @@ from repro.monitoring.warehouse import MetricWarehouse
 from repro.ntier.app import APP, DB, WEB, NTierApplication
 from repro.rng import RngRegistry
 from repro.scaling.actuator import Actuator
-from repro.scaling.conscale import ConScaleController
 from repro.scaling.controller import BaseController
-from repro.scaling.dcm import DCMController, DcmTrainedProfile, offline_profile
-from repro.scaling.ec2 import EC2AutoScaling
+from repro.scaling.dcm import DcmTrainedProfile
 from repro.scaling.estimator import OptimalConcurrencyEstimator, TierEstimate
 from repro.scaling.factory import ServerFactory
 from repro.scaling.policy import TierPolicyConfig
-from repro.scaling.predictive import PredictiveAutoScaling
-from repro.sct.model import SCTModel
+from repro.scaling.registry import (
+    ControllerContext,
+    get_controller,
+    registered_frameworks,
+)
 from repro.sim.engine import PRIORITY_SAMPLER, Simulator
 from repro.workload.generator import OpenLoopGenerator, RequestFactory
 from repro.workload.mixes import WorkloadMix, browse_only_mix, read_write_mix
@@ -60,6 +59,14 @@ __all__ = [
     "execute_spec",
     "FRAMEWORKS",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated alias: FRAMEWORKS is registry-derived now; import
+    # repro.scaling.registry.registered_frameworks() instead.
+    if name == "FRAMEWORKS":
+        return registered_frameworks()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 # The serializable artifact replaced the old live-handle result; the
 # alias keeps existing imports working.
@@ -76,25 +83,6 @@ def _build_mix(config: ScenarioConfig) -> WorkloadMix:
     return read_write_mix(base)
 
 
-def _default_dcm_profile(config: ScenarioConfig) -> DcmTrainedProfile:
-    """Train DCM under *default* conditions (original dataset, browse
-    workload, 1-core VMs) regardless of the runtime scenario — that gap
-    is precisely what Fig. 11 exercises."""
-    mix = browse_only_mix(config.calibration.base_demands)
-    d_app = mix.mean_demand("app")
-    d_db = mix.mean_demand("db")
-    # A Tomcat thread is blocked for the whole MySQL call, so the share
-    # of its residence spent blocked is d_db / (d_app + d_db) when the
-    # DB is uncongested (the training condition).
-    app_q = offline_profile(
-        app_capacity(1.0, 1.0), d_app, blocking_share=d_db / (d_app + d_db)
-    )
-    db_q = offline_profile(db_capacity_cpu(1.0), d_db)
-    return DcmTrainedProfile(
-        app_optimal=app_q, db_optimal=db_q, trained_on="default-conditions"
-    )
-
-
 def run_experiment(
     framework: str,
     config: ScenarioConfig,
@@ -102,16 +90,27 @@ def run_experiment(
     policy_overrides: dict[str, TierPolicyConfig] | None = None,
     conscale_headroom: float | None = None,
     faults=None,
+    params: dict[str, object] | None = None,
 ) -> RunArtifact:
-    """Run one scenario under one scaling framework."""
-    overrides = RunOverrides(
+    """Run one scenario under one scaling framework.
+
+    ``params`` sets controller parameters per the framework's registered
+    schema. ``dcm_profile`` and ``conscale_headroom`` are deprecated
+    aliases for ``params={"profile": ...}`` / ``params={"headroom": ...}``
+    (an explicit ``params`` entry wins over the alias).
+    """
+    merged: dict[str, object] = dict(params or {})
+    if dcm_profile is not None:
+        merged.setdefault("profile", dcm_profile)
+    if conscale_headroom is not None:
+        merged.setdefault("headroom", conscale_headroom)
+    overrides = RunOverrides.from_params(
+        merged or None,
         policy_overrides=(
             tuple(sorted(policy_overrides.items()))
             if policy_overrides is not None
             else None
         ),
-        dcm_profile=dcm_profile,
-        conscale_headroom=conscale_headroom,
     )
     return execute_spec(RunSpec(framework, config, overrides, faults))
 
@@ -129,10 +128,9 @@ def execute_spec(spec: RunSpec, *, sim: Simulator | None = None) -> RunArtifact:
     simulator must be fresh (clock at 0, empty calendar).
     """
     framework, config = spec.framework, spec.config
-    if framework not in FRAMEWORKS:
-        raise ConfigurationError(
-            f"framework must be one of {FRAMEWORKS}, got {framework!r}"
-        )
+    # Unknown frameworks fail here with the registered names listed
+    # (specs built elsewhere may predate an unregistration).
+    ctrl_spec = get_controller(framework)
     if sim is None:
         sim = Simulator()
     elif sim.now != 0.0 or sim.pending_events or sim.events_executed:
@@ -192,28 +190,26 @@ def execute_spec(spec: RunSpec, *, sim: Simulator | None = None) -> RunArtifact:
     tier_configs = spec.overrides.policy_dict() or {
         APP: config.policy, DB: config.policy
     }
-    controller: BaseController
-    estimator: OptimalConcurrencyEstimator | None = None
-    if framework == "ec2":
-        controller = EC2AutoScaling(sim, warehouse, actuator, tier_configs)
-    elif framework == "predictive":
-        controller = PredictiveAutoScaling(sim, warehouse, actuator, tier_configs)
-    elif framework == "dcm":
-        profile = spec.overrides.dcm_profile or _default_dcm_profile(config)
-        controller = DCMController(sim, warehouse, actuator, profile, tier_configs)
-    else:
-        estimator = OptimalConcurrencyEstimator(
-            warehouse,
-            SCTModel(tolerance=config.sct_tolerance),
-            window=config.sct_window,
-            drift_check=config.sct_drift_check,
+    # Registry-driven construction: the framework's registered factory
+    # receives the full run context plus the resolved parameter dict
+    # (schema defaults overlaid with the spec's controller_params).
+    controller: BaseController = ctrl_spec.build(
+        ControllerContext(
+            sim=sim,
+            warehouse=warehouse,
+            actuator=actuator,
+            config=config,
+            tier_configs=tier_configs,
+            params=ctrl_spec.resolve(spec.overrides.params_dict()),
         )
-        conscale_kwargs = {}
-        if spec.overrides.conscale_headroom is not None:
-            conscale_kwargs["headroom"] = spec.overrides.conscale_headroom
-        controller = ConScaleController(
-            sim, warehouse, actuator, estimator, tier_configs, **conscale_kwargs
-        )
+    )
+    # Any controller exposing an online estimator gets its history
+    # collected into the artifact — a protocol, not framework dispatch.
+    estimator = (
+        controller.estimator
+        if isinstance(controller.estimator, OptimalConcurrencyEstimator)
+        else None
+    )
 
     # --- fault injection --------------------------------------------------
     injector: FaultInjector | None = None

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.control.bus import ControlBus
 from repro.control.events import NOOP, THRESHOLD_TRIP, DecisionEvent
 from repro.monitoring.warehouse import MetricWarehouse
+from repro.ntier.app import APP, DB
 from repro.scaling.actuator import Actuator
 from repro.scaling.policy import ThresholdPolicy, TierPolicyConfig
 from repro.sim.engine import PRIORITY_CONTROLLER, Simulator
@@ -29,6 +30,11 @@ class BaseController:
 
     name = "base"
 
+    #: Controllers that estimate optimal concurrency online expose their
+    #: estimator here; the experiment runner collects its history into
+    #: the artifact for any controller, without framework dispatch.
+    estimator = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -42,8 +48,8 @@ class BaseController:
         self.actuator = actuator
         self.bus: ControlBus = actuator.bus
         configs = tier_configs or {
-            "app": TierPolicyConfig(),
-            "db": TierPolicyConfig(),
+            APP: TierPolicyConfig(),
+            DB: TierPolicyConfig(),
         }
         self.policy = ThresholdPolicy(sim, warehouse, actuator, configs)
         actuator.on_hardware_change(self._hardware_changed)

@@ -17,6 +17,7 @@ over-allocates until someone re-trains it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.monitoring.warehouse import MetricWarehouse
@@ -27,7 +28,15 @@ from repro.scaling.controller import BaseController
 from repro.scaling.policy import TierPolicyConfig
 from repro.sim.engine import Simulator
 
-__all__ = ["DcmTrainedProfile", "offline_profile", "DCMController"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.scenarios import ScenarioConfig
+
+__all__ = [
+    "DcmTrainedProfile",
+    "offline_profile",
+    "default_profile",
+    "DCMController",
+]
 
 
 def offline_profile(
@@ -83,6 +92,31 @@ class DcmTrainedProfile:
                 "trained optima must be >= 1, got "
                 f"{self.app_optimal!r} / {self.db_optimal!r}"
             )
+
+
+def default_profile(config: "ScenarioConfig") -> DcmTrainedProfile:
+    """Train DCM under *default* conditions (original dataset, browse
+    workload, 1-core VMs) regardless of the runtime scenario — that gap
+    is precisely what Fig. 11 exercises."""
+    # Imported lazily: the calibration and workload modules sit above
+    # repro.scaling in the layering, and this trainer is only needed
+    # when a DCM run supplies no explicit profile.
+    from repro.experiments.calibration import app_capacity, db_capacity_cpu
+    from repro.workload.mixes import browse_only_mix
+
+    mix = browse_only_mix(config.calibration.base_demands)
+    d_app = mix.mean_demand(APP)
+    d_db = mix.mean_demand(DB)
+    # A Tomcat thread is blocked for the whole MySQL call, so the share
+    # of its residence spent blocked is d_db / (d_app + d_db) when the
+    # DB is uncongested (the training condition).
+    app_q = offline_profile(
+        app_capacity(1.0, 1.0), d_app, blocking_share=d_db / (d_app + d_db)
+    )
+    db_q = offline_profile(db_capacity_cpu(1.0), d_db)
+    return DcmTrainedProfile(
+        app_optimal=app_q, db_optimal=db_q, trained_on="default-conditions"
+    )
 
 
 class DCMController(BaseController):

@@ -51,6 +51,16 @@ class ServerFactory:
         """Current template thread limit for a tier."""
         return self._template(tier).thread_limit
 
+    def capacity(self, tier: str) -> CapacityModel:
+        """Current template capacity model for a tier.
+
+        Model-predictive controllers read this to reason about the
+        hardware new (and, absent vertical scaling, existing) servers of
+        the tier run on; after a vertical scale-up swaps the template,
+        the next read sees the scaled curve.
+        """
+        return self._template(tier).capacity
+
     def set_thread_limit(self, tier: str, limit: int) -> None:
         """Update the template limit so future servers start with it."""
         tpl = self._template(tier)

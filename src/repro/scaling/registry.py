@@ -1,0 +1,519 @@
+"""Pluggable controller registry: one place every framework lives.
+
+Each scaling framework registers a :class:`ControllerSpec` — its name,
+a factory building the controller for a run, a typed parameter schema
+with defaults, and the decision-event kinds it emits beyond the shared
+threshold loop. Everything that used to hard-code the framework list
+derives from the registry instead:
+
+* ``execute_spec`` builds controllers through :meth:`ControllerSpec.build`
+  (no if/elif dispatch);
+* the ``FRAMEWORKS`` tuple, the CLI's ``choices=``, ``repro compare``
+  and the resilience suite's framework axis all come from
+  :func:`registered_frameworks`;
+* ``RunSpec`` validates framework names and coerces
+  ``RunOverrides.controller_params`` against the registered schema, so
+  a typo'd param fails loudly and ``--param headroom=1`` digests
+  identically to ``headroom=1.0``;
+* ``repro controllers`` lists the registry (``--json`` for machines).
+
+Third-party controllers plug in the same way the built-ins do::
+
+    from repro.scaling.registry import ControllerSpec, ParamSpec, register_controller
+
+    register_controller(ControllerSpec(
+        name="mine",
+        summary="my experimental controller",
+        factory=lambda ctx: MyController(ctx.sim, ctx.warehouse,
+                                         ctx.actuator, ctx.tier_configs,
+                                         gain=ctx.params["gain"]),
+        params=(ParamSpec("gain", "float", 0.5, help="feedback gain"),),
+    ))
+
+After registration the name works everywhere a built-in does: ``RunSpec``
+construction, every execution backend (specs carry only the *name*; the
+worker resolves it in its own registry), the CLI, and the suites.
+
+Registration order is presentation order (``repro compare`` rows, CLI
+choices); built-ins register at the bottom of this module in the
+historical order ec2, dcm, conscale, predictive, then the newer mpc and
+qos baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from repro.control.events import (
+    FORECAST,
+    MPC_CORRECTION,
+    QOS_CONSTRAINT,
+    STALE_HOLD,
+    declared_kinds,
+)
+from repro.errors import ConfigurationError
+from repro.monitoring.warehouse import MetricWarehouse
+from repro.scaling.actuator import Actuator
+from repro.scaling.controller import BaseController
+from repro.scaling.policy import TierPolicyConfig
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiments -> scaling)
+    from repro.experiments.scenarios import ScenarioConfig
+
+__all__ = [
+    "ParamSpec",
+    "ControllerContext",
+    "ControllerSpec",
+    "register_controller",
+    "unregister_controller",
+    "get_controller",
+    "registered_frameworks",
+    "controller_specs",
+    "parse_cli_params",
+]
+
+#: Parameter value kinds the schema supports. ``object`` params carry
+#: arbitrary canonicalisable values (e.g. a trained DCM profile) and are
+#: API-only — the CLI refuses to parse them.
+PARAM_KINDS = ("int", "float", "bool", "str", "object")
+
+_BOOL_STRINGS = {
+    "true": True, "1": True, "yes": True, "on": True,
+    "false": False, "0": False, "no": False, "off": False,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ParamSpec:
+    """One typed controller parameter with its default.
+
+    ``kind`` drives both CLI parsing (``--param name=value``) and the
+    normalisation applied when a :class:`~repro.experiments.artifact.RunSpec`
+    is built, so equivalent spellings of a value digest identically.
+    """
+
+    name: str
+    kind: str
+    default: Any = None
+    help: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ConfigurationError(
+                f"param name must be an identifier, got {self.name!r}"
+            )
+        if self.kind not in PARAM_KINDS:
+            raise ConfigurationError(
+                f"param {self.name!r}: kind must be one of {PARAM_KINDS}, "
+                f"got {self.kind!r}"
+            )
+
+    @property
+    def cli(self) -> bool:
+        """Whether ``--param name=value`` can set this parameter."""
+        return self.kind != "object"
+
+    def coerce(self, value: Any) -> Any:
+        """Normalise an API-supplied value to the declared kind."""
+        if self.kind == "int":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"param {self.name!r} expects an int, got {value!r}"
+                )
+            if float(value) != int(value):
+                raise ConfigurationError(
+                    f"param {self.name!r} expects an int, got {value!r}"
+                )
+            return int(value)
+        if self.kind == "float":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"param {self.name!r} expects a float, got {value!r}"
+                )
+            return float(value)
+        if self.kind == "bool":
+            if not isinstance(value, bool):
+                raise ConfigurationError(
+                    f"param {self.name!r} expects a bool, got {value!r}"
+                )
+            return value
+        if self.kind == "str":
+            if not isinstance(value, str):
+                raise ConfigurationError(
+                    f"param {self.name!r} expects a str, got {value!r}"
+                )
+            return value
+        return value  # "object": passed through, canonical() validates later
+
+    def parse(self, text: str) -> Any:
+        """Parse a CLI value string to the declared kind."""
+        if self.kind == "object":
+            raise ConfigurationError(
+                f"param {self.name!r} holds an object and cannot be set "
+                "from the command line"
+            )
+        try:
+            if self.kind == "int":
+                return int(text)
+            if self.kind == "float":
+                return float(text)
+            if self.kind == "bool":
+                try:
+                    return _BOOL_STRINGS[text.strip().lower()]
+                except KeyError:
+                    raise ValueError(text) from None
+            return text
+        except ValueError:
+            raise ConfigurationError(
+                f"param {self.name!r} expects a {self.kind}, got {text!r}"
+            ) from None
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready description (``repro controllers --json``)."""
+        default = self.default
+        if default is not None and self.kind == "object":
+            default = repr(default)
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "default": default,
+            "help": self.help,
+            "cli": self.cli,
+        }
+
+
+@dataclass(frozen=True)
+class ControllerContext:
+    """Everything a controller factory may wire into its controller.
+
+    One per run, assembled by ``execute_spec`` after the application,
+    cloud, and monitoring stacks exist. ``params`` is the fully resolved
+    parameter dict: registered defaults overlaid with the spec's
+    ``controller_params``.
+    """
+
+    sim: Simulator
+    warehouse: MetricWarehouse
+    actuator: Actuator
+    config: "ScenarioConfig"
+    tier_configs: dict[str, TierPolicyConfig]
+    params: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """A registered scaling framework."""
+
+    name: str
+    factory: Callable[[ControllerContext], BaseController]
+    summary: str = ""
+    params: tuple[ParamSpec, ...] = ()
+    #: Decision-event kinds this controller emits beyond the base
+    #: threshold loop (THRESHOLD_TRIP/NOOP and the actuator's kinds).
+    #: Registration validates them against the events vocabulary.
+    decision_kinds: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("-", "_").isidentifier():
+            raise ConfigurationError(
+                f"controller name must be a simple identifier, got {self.name!r}"
+            )
+        names = [p.name for p in self.params]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"controller {self.name!r}: duplicate param names {names}"
+            )
+
+    # ------------------------------------------------------------------
+    def param(self, name: str) -> ParamSpec:
+        """Look up one parameter; unknown names list the valid ones."""
+        for p in self.params:
+            if p.name == name:
+                return p
+        valid = ", ".join(p.name for p in self.params) or "(none)"
+        raise ConfigurationError(
+            f"controller {self.name!r} has no param {name!r}; "
+            f"valid params: {valid}"
+        )
+
+    def defaults(self) -> dict[str, Any]:
+        return {p.name: p.default for p in self.params}
+
+    def coerce_params(self, given: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate and normalise explicitly supplied params only.
+
+        Defaults are *not* filled in — the run-spec digest must cover
+        what the caller chose, not the schema's current defaults, so
+        adding a new parameter later cannot invalidate existing caches.
+        """
+        return {name: self.param(name).coerce(value)
+                for name, value in given.items()}
+
+    def resolve(self, given: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """Defaults overlaid with the supplied overrides."""
+        params = self.defaults()
+        if given:
+            params.update(self.coerce_params(given))
+        return params
+
+    def build(self, ctx: ControllerContext) -> BaseController:
+        controller = self.factory(ctx)
+        if not isinstance(controller, BaseController):
+            raise ConfigurationError(
+                f"controller factory {self.name!r} returned "
+                f"{type(controller).__qualname__}, not a BaseController"
+            )
+        return controller
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready description (``repro controllers --json``)."""
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "params": [p.describe() for p in self.params],
+            "decision_kinds": list(self.decision_kinds),
+        }
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, ControllerSpec] = {}
+
+
+def register_controller(spec: ControllerSpec) -> ControllerSpec:
+    """Register a framework; returns the spec for chaining.
+
+    Duplicate names are an error (re-registering a tweaked spec under
+    an existing name would silently change what cached digests mean),
+    as are decision kinds missing from the events vocabulary — the
+    registry is the runtime complement of the ``event-kinds`` lint rule.
+    """
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(
+            f"controller {spec.name!r} is already registered; "
+            "unregister_controller() first if replacing it"
+        )
+    vocabulary = declared_kinds()
+    unknown = sorted(set(spec.decision_kinds) - vocabulary)
+    if unknown:
+        raise ConfigurationError(
+            f"controller {spec.name!r} declares decision kind(s) "
+            f"{unknown} not in repro.control.events; declare them there "
+            "so of_kind() queries and the event-kinds lint rule see them"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_controller(name: str) -> None:
+    """Remove a registered framework (test support)."""
+    if name not in _REGISTRY:
+        raise ConfigurationError(f"controller {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def get_controller(name: str) -> ControllerSpec:
+    """Resolve a framework name; unknown names list what exists."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"framework must be one of {registered_frameworks()}, "
+            f"got {name!r}"
+        ) from None
+
+
+def registered_frameworks() -> tuple[str, ...]:
+    """All registered framework names, in registration order.
+
+    This is the single source the (deprecated) module-level
+    ``FRAMEWORKS`` re-exports delegate to.
+    """
+    return tuple(_REGISTRY)
+
+
+def controller_specs() -> tuple[ControllerSpec, ...]:
+    """All registered specs, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def parse_cli_params(framework: str, assignments: list[str]) -> dict[str, Any]:
+    """Parse repeated ``--param NAME=VALUE`` strings for one framework."""
+    spec = get_controller(framework)
+    out: dict[str, Any] = {}
+    for text in assignments:
+        name, sep, raw = text.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ConfigurationError(
+                f"--param expects NAME=VALUE, got {text!r}"
+            )
+        out[name] = spec.param(name).parse(raw.strip())
+    return out
+
+
+# ----------------------------------------------------------------------
+# built-in controllers
+# ----------------------------------------------------------------------
+
+def _build_ec2(ctx: ControllerContext) -> BaseController:
+    from repro.scaling.ec2 import EC2AutoScaling
+
+    return EC2AutoScaling(ctx.sim, ctx.warehouse, ctx.actuator, ctx.tier_configs)
+
+
+def _build_dcm(ctx: ControllerContext) -> BaseController:
+    from repro.scaling.dcm import DCMController, default_profile
+
+    profile = ctx.params["profile"]
+    if profile is None:
+        profile = default_profile(ctx.config)
+    return DCMController(
+        ctx.sim, ctx.warehouse, ctx.actuator, profile, ctx.tier_configs
+    )
+
+
+def _build_conscale(ctx: ControllerContext) -> BaseController:
+    from repro.scaling.conscale import ConScaleController
+    from repro.scaling.estimator import OptimalConcurrencyEstimator
+    from repro.sct.model import SCTModel
+
+    estimator = OptimalConcurrencyEstimator(
+        ctx.warehouse,
+        SCTModel(tolerance=ctx.config.sct_tolerance),
+        window=ctx.config.sct_window,
+        drift_check=ctx.config.sct_drift_check,
+    )
+    p = ctx.params
+    return ConScaleController(
+        ctx.sim, ctx.warehouse, ctx.actuator, estimator, ctx.tier_configs,
+        adapt_interval=p["adapt_interval"], hysteresis=p["hysteresis"],
+        headroom=p["headroom"], per_server_app=p["per_server_app"],
+    )
+
+
+def _build_predictive(ctx: ControllerContext) -> BaseController:
+    from repro.scaling.predictive import PredictiveAutoScaling
+
+    p = ctx.params
+    return PredictiveAutoScaling(
+        ctx.sim, ctx.warehouse, ctx.actuator, ctx.tier_configs,
+        trend_window=p["trend_window"], arm_threshold=p["arm_threshold"],
+    )
+
+
+def _build_mpc(ctx: ControllerContext) -> BaseController:
+    from repro.scaling.mpc import MPCHybridController
+
+    p = ctx.params
+    return MPCHybridController(
+        ctx.sim, ctx.warehouse, ctx.actuator, ctx.tier_configs,
+        trend_window=p["trend_window"],
+        correction_interval=p["correction_interval"],
+        hysteresis=p["hysteresis"], q_max=p["q_max"],
+    )
+
+
+def _build_qos(ctx: ControllerContext) -> BaseController:
+    from repro.scaling.qos import QoSRobustController
+
+    p = ctx.params
+    return QoSRobustController(
+        ctx.sim, ctx.warehouse, ctx.actuator, ctx.tier_configs,
+        slo_ms=p["slo_ms"], epsilon=p["epsilon"], window=p["window"],
+        sustain=p["sustain"], rt_scale=ctx.config.rt_scale,
+    )
+
+
+register_controller(ControllerSpec(
+    name="ec2",
+    summary="reactive threshold hardware scaling only (industry baseline)",
+    factory=_build_ec2,
+))
+
+register_controller(ControllerSpec(
+    name="dcm",
+    summary="threshold hardware scaling + offline-trained concurrency table",
+    factory=_build_dcm,
+    params=(
+        ParamSpec("profile", "object", None,
+                  help="DcmTrainedProfile override (API only; default: "
+                  "train under default conditions)"),
+    ),
+))
+
+register_controller(ControllerSpec(
+    name="conscale",
+    summary="SCT-driven online concurrency adaption (the paper's framework)",
+    factory=_build_conscale,
+    params=(
+        ParamSpec("headroom", "float", 1.15,
+                  help="actuate this factor above the estimated Q_lower"),
+        ParamSpec("adapt_interval", "float", 2.0,
+                  help="seconds between periodic soft-resource adaptions"),
+        ParamSpec("hysteresis", "float", 0.2,
+                  help="relative cap drift required before re-actuating"),
+        ParamSpec("per_server_app", "bool", False,
+                  help="actuate each app server's own optimum (heterogeneous "
+                  "fleets)"),
+    ),
+    decision_kinds=(STALE_HOLD,),
+))
+
+register_controller(ControllerSpec(
+    name="predictive",
+    summary="trend-extrapolating proactive hardware scaling (no soft "
+    "resources)",
+    factory=_build_predictive,
+    params=(
+        ParamSpec("trend_window", "float", 30.0,
+                  help="seconds of CPU history behind the linear forecast"),
+        ParamSpec("arm_threshold", "float", 0.45,
+                  help="minimum current CPU before acting on a forecast"),
+    ),
+))
+
+register_controller(ControllerSpec(
+    name="mpc",
+    summary="OptScaler-style hybrid: workload forecast + receding-horizon "
+    "MVA cap correction",
+    factory=_build_mpc,
+    params=(
+        ParamSpec("trend_window", "float", 30.0,
+                  help="seconds of telemetry behind forecast and demand "
+                  "estimates"),
+        ParamSpec("correction_interval", "float", 2.0,
+                  help="seconds between receding-horizon cap corrections"),
+        ParamSpec("hysteresis", "float", 0.2,
+                  help="relative cap drift required before re-actuating"),
+        ParamSpec("q_max", "int", 200,
+                  help="largest per-server concurrency the MVA model solves "
+                  "for"),
+    ),
+    decision_kinds=(FORECAST, MPC_CORRECTION, STALE_HOLD),
+))
+
+register_controller(ControllerSpec(
+    name="qos",
+    summary="RobustScaler-style QoS scaling from a latency chance "
+    "constraint",
+    factory=_build_qos,
+    params=(
+        ParamSpec("slo_ms", "float", 250.0,
+                  help="latency objective in base-scale milliseconds"),
+        ParamSpec("epsilon", "float", 0.05,
+                  help="tolerated violation probability (0.05 = guard the "
+                  "p95)"),
+        ParamSpec("window", "float", 20.0,
+                  help="seconds of fine-grained samples behind the "
+                  "constraint check"),
+        ParamSpec("sustain", "int", 3,
+                  help="consecutive breach ticks required before scaling "
+                  "(hysteresis)"),
+    ),
+    decision_kinds=(QOS_CONSTRAINT,),
+))

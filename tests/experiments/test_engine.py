@@ -65,7 +65,7 @@ def test_digest_separates_every_axis():
     assert RunSpec("ec2", small_config(seed=3)).digest() != base.digest()
     assert RunSpec("ec2", small_config(duration=61.0)).digest() != base.digest()
     with_headroom = RunSpec(
-        "conscale", small_config(), RunOverrides(conscale_headroom=1.3)
+        "conscale", small_config(), RunOverrides.from_params({"headroom": 1.3})
     )
     assert with_headroom.digest() != RunSpec(
         "conscale", small_config()
@@ -255,7 +255,7 @@ def test_headroom_override_changes_behaviour():
     base = execute_spec(RunSpec("conscale", small_config()))
     wide = execute_spec(
         RunSpec(
-            "conscale", small_config(), RunOverrides(conscale_headroom=3.0)
+            "conscale", small_config(), RunOverrides.from_params({"headroom": 3.0})
         )
     )
     assert base.signature() != wide.signature()

@@ -155,8 +155,13 @@ def test_dropout_tail_within_ten_percent_of_fault_free(baseline, dropped):
 # ----------------------------------------------------------------------
 
 def test_suite_shape_and_order():
+    from repro.scaling.registry import registered_frameworks
+
     specs = resilience_suite(duration=60.0)
-    assert len(specs) == 4 * 6  # frameworks x (baseline + 5 fault classes)
+    # Every registered framework crossed with baseline + 5 fault classes.
+    n_frameworks = len(registered_frameworks())
+    assert n_frameworks >= 6  # the built-ins, plus any in-test plugins
+    assert len(specs) == n_frameworks * 6
     # Stable order: frameworks outer, baseline first within each.
     assert [s.framework for s in specs[:6]] == ["ec2"] * 6
     assert specs[0].faults is None and specs[6].faults is None
