@@ -17,10 +17,20 @@ Exit status 1 when any workload's normalised rate falls more than
 baseline file — run it on a quiet machine when the engine legitimately
 changes speed.
 
+``--fluid`` additionally re-measures the hybrid-vs-discrete speedup on
+the guard-sized steady workload (see :mod:`fluid_workload`) and fails
+when the speedup falls more than ``--tolerance`` below the recorded
+``fluid.guard`` entry. The speedup is a same-machine wall-time ratio,
+so it needs no spin normalisation. ``--record-fluid`` re-measures both
+the guard and the ~1M-session full workload and rewrites the baseline's
+``fluid`` section (slow: the full discrete twin runs for minutes).
+
 Usage::
 
     python benchmarks/perf_smoke.py --baseline benchmarks/BENCH_core.json
-    python benchmarks/perf_smoke.py --record   # refresh the baseline
+    python benchmarks/perf_smoke.py --fluid        # + hybrid speedup guard
+    python benchmarks/perf_smoke.py --record       # refresh engine baseline
+    python benchmarks/perf_smoke.py --record-fluid # refresh fluid baseline
 """
 
 from __future__ import annotations
@@ -44,6 +54,50 @@ from core_workloads import (  # noqa: E402
 DEFAULT_BASELINE = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "BENCH_core.json"
 )
+
+
+def record_fluid(path: str) -> dict:
+    """Measure the fluid workloads and merge them into the baseline."""
+    from fluid_workload import FULL, GUARD, measure_fluid
+
+    with open(path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    print("measuring guard workload (~60k sessions)...")
+    guard = measure_fluid(**GUARD)
+    print(f"  guard: {guard['sessions']} sessions, "
+          f"speedup {guard['speedup_hybrid_vs_discrete']}x")
+    print("measuring full workload (~1M sessions, slow)...")
+    full = measure_fluid(**FULL)
+    print(f"  full: {full['sessions']} sessions, "
+          f"speedup {full['speedup_hybrid_vs_discrete']}x")
+    baseline["fluid"] = {"full": full, "guard": guard}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return baseline["fluid"]
+
+
+def check_fluid(baseline: dict, tolerance: float) -> bool:
+    """Re-measure the guard workload; True when inside tolerance."""
+    from fluid_workload import measure_fluid
+
+    recorded = baseline.get("fluid", {}).get("guard")
+    if not recorded:
+        print("SKIP fluid: no recorded fluid.guard baseline")
+        return True
+    fresh = measure_fluid(
+        duration=float(recorded["duration"]),
+        load_scale=float(recorded["load_scale"]),
+    )
+    base_speedup = float(recorded["speedup_hybrid_vs_discrete"])
+    speedup = fresh["speedup_hybrid_vs_discrete"]
+    floor = base_speedup * (1.0 - tolerance)
+    verdict = "ok" if speedup >= floor else "REGRESSION"
+    print(f"fluid    {fresh['sessions']} sessions  "
+          f"wall d={fresh['wall']['discrete']}s h={fresh['wall']['hybrid']}s  "
+          f"speedup {speedup:.2f}x  baseline {base_speedup:.2f}x  "
+          f"floor {floor:.2f}x  -> {verdict}")
+    return speedup >= floor
 
 
 def measure_wheel(workload: str, rounds: int) -> tuple[int, float]:
@@ -72,7 +126,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="timed rounds per workload, best-of (default 3)")
     parser.add_argument("--record", action="store_true",
                         help="re-measure all engines and rewrite the baseline")
+    parser.add_argument("--fluid", action="store_true",
+                        help="also guard the hybrid-vs-discrete speedup")
+    parser.add_argument("--record-fluid", action="store_true",
+                        help="re-measure the fluid workloads and rewrite the "
+                             "baseline's fluid section (slow)")
     args = parser.parse_args(argv)
+
+    if args.record_fluid:
+        fluid = record_fluid(args.baseline)
+        print(f"fluid baseline written to {args.baseline}: full speedup "
+              f"{fluid['full']['speedup_hybrid_vs_discrete']}x, guard "
+              f"{fluid['guard']['speedup_hybrid_vs_discrete']}x")
+        return 0
 
     if args.record:
         payload = record_baseline(args.baseline, rounds=args.rounds)
@@ -106,6 +172,8 @@ def main(argv: list[str] | None = None) -> int:
               f"-> {verdict}")
         if normalised < floor:
             failed = True
+    if args.fluid and not check_fluid(baseline, args.tolerance):
+        failed = True
     if failed:
         print("perf smoke FAILED: wheel engine regressed beyond tolerance")
         return 1

@@ -23,6 +23,15 @@ Commands:
 * ``lint`` — the repro-lint determinism/invariant static-analysis pass
   (exit 0 clean, 1 with violations; ``--json`` for machine output).
 
+``run --mode {discrete,fluid,hybrid}`` selects the flow model: classic
+per-request discrete events, the aggregate fluid integrator, or
+governor-switched hybrid (see :mod:`repro.sim.flowmodel`); ``run
+--fluid-check`` runs a fluid/hybrid scenario against its discrete twin
+and fails (exit 2) outside the equivalence tolerance. ``--arrivals
+closed`` swaps the open trace-driven stream for a closed population of
+synchronous users; ``--demand-dist lognormal`` draws heavy-tailed
+service demands at the calibrated mean/CV.
+
 ``run --race-check`` replays the scenario under a permuted
 same-timestamp tie-break order and fails (exit 2) if any observable
 diverges — the dynamic complement of ``lint``. ``run --calendar-check``
@@ -68,7 +77,8 @@ from repro.experiments.resilience import (
     resilience_rows,
     resilience_suite,
 )
-from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.scenarios import ARRIVAL_MODELS, ScenarioConfig
+from repro.ntier.demand import DEMAND_DISTRIBUTIONS
 from repro.scaling.registry import (
     controller_specs,
     get_controller,
@@ -78,6 +88,7 @@ from repro.scaling.registry import (
 from repro.experiments.sweep import concurrency_sweep
 from repro.faults.plan import parse_faults
 from repro.sim.calendar import CALENDARS
+from repro.sim.flowmodel import SIM_MODES
 from repro.workload.mixes import browse_only_mix, read_write_mix
 from repro.workload.shapes import TRACE_NAMES, make_trace
 
@@ -98,6 +109,21 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
         "--topology", default="1,1,1", metavar="W,A,D",
         help="starting replica counts web,app,db (crash faults need "
         ">= 2 replicas in the target tier)",
+    )
+    parser.add_argument(
+        "--mode", choices=SIM_MODES, default="discrete",
+        help="simulation mode: per-request discrete events (default), "
+        "the aggregate fluid integrator, or governor-switched hybrid",
+    )
+    parser.add_argument(
+        "--arrivals", choices=ARRIVAL_MODELS, default="open",
+        help="arrival model: open trace-driven stream (default) or a "
+        "closed population of synchronous users sized from the trace peak",
+    )
+    parser.add_argument(
+        "--demand-dist", choices=DEMAND_DISTRIBUTIONS, default="gamma",
+        help="per-request service-demand distribution (lognormal gives "
+        "a heavy tail at the same mean and CV)",
     )
 
 
@@ -183,6 +209,9 @@ def _config(args: argparse.Namespace) -> ScenarioConfig:
         name="cli", trace_name=args.trace, load_scale=args.scale,
         duration=args.duration, seed=args.seed,
         topology=_parse_topology(getattr(args, "topology", "1,1,1")),
+        mode=getattr(args, "mode", "discrete"),
+        arrivals=getattr(args, "arrivals", "open"),
+        demand_distribution=getattr(args, "demand_dist", "gamma"),
     )
 
 
@@ -279,6 +308,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         report = run_calendar_check(spec)
         print(report.describe())
         print("calendar equivalence ok")
+        return 0
+    if args.fluid_check:
+        from repro.experiments.fluid_equiv import run_fluid_check
+
+        # Raises FluidDivergenceError (exit 2 via main) on divergence.
+        # require_fluid stays off here: whether the governor finds a
+        # quiet phase depends on the trace the user picked.
+        report = run_fluid_check(spec, require_fluid=False)
+        print(report.describe())
         return 0
     if args.race_check:
         from repro.experiments.racecheck import run_race_check
@@ -661,6 +699,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--calendar", choices=CALENDARS, default="wheel",
         help="event calendar to execute on (default: wheel); selecting "
         "'heap' runs the legacy single-heap loop and bypasses the cache",
+    )
+    p_run.add_argument(
+        "--fluid-check", action="store_true",
+        help="run the scenario (which must use --mode fluid or hybrid) "
+        "and its discrete twin, and fail (exit 2) unless request "
+        "conservation holds and throughput/latency percentiles stay "
+        "inside the fluid-equivalence tolerance band",
     )
     p_run.add_argument(
         "--calendar-check", action="store_true",

@@ -36,6 +36,7 @@ __all__ = [
     "POLICY_KINDS",
     "ADVISORY_KINDS",
     "FAULT_KINDS",
+    "MODE_KINDS",
     "declared_kinds",
 ]
 
@@ -95,6 +96,17 @@ FAULT_KINDS = (
     "scale_out_retry",
 )
 
+#: Simulation-mode switch kinds emitted by the hybrid-mode governor
+#: (:class:`repro.sim.governor.ModeGovernor`): entering the fluid
+#: aggregate integrator, and dropping back to per-request discrete
+#: events (``reason`` names the trigger — trace derivative, fault
+#: window, controller activity, or end-of-run drain; ``value`` carries
+#: the number of in-flight requests handed across the switch).
+MODE_KINDS = (
+    "mode_fluid_entered",
+    "mode_discrete_entered",
+)
+
 
 def declared_kinds() -> frozenset[str]:
     """The complete decision-event vocabulary.
@@ -105,7 +117,12 @@ def declared_kinds() -> frozenset[str]:
     sites against the same module-level declarations).
     """
     return frozenset(
-        POLICY_KINDS + ADVISORY_KINDS + HARDWARE_KINDS + SOFT_KINDS + FAULT_KINDS
+        POLICY_KINDS
+        + ADVISORY_KINDS
+        + HARDWARE_KINDS
+        + SOFT_KINDS
+        + FAULT_KINDS
+        + MODE_KINDS
     )
 
 

@@ -14,6 +14,7 @@ __all__ = [
     "ScheduleError",
     "TieOrderRaceError",
     "CalendarDivergenceError",
+    "FluidDivergenceError",
     "LintError",
     "CapacityModelError",
     "PoolError",
@@ -68,6 +69,20 @@ class CalendarDivergenceError(SimulationError):
     ``Simulator(calendar="wheel")`` yields different observable
     surfaces. The calendar is a pure performance choice; any divergence
     is an engine bug, never a legitimate model difference."""
+
+
+class FluidDivergenceError(SimulationError):
+    """A fluid/hybrid run diverged from its discrete twin beyond the
+    equivalence tolerance.
+
+    Raised by the fluid-equivalence harness
+    (:func:`repro.experiments.fluid_equiv.run_fluid_check`) when a
+    ``mode="hybrid"`` run breaks request conservation, or its latency
+    percentiles / completed-request throughput fall outside the
+    statistical tolerance band around the ``mode="discrete"`` twin of
+    the same spec. Unlike the calendar contract this is a *statistical*
+    equivalence — the fluid integrator is an approximation by design —
+    so the tolerances are calibrated, not zero."""
 
 
 class LintError(ReproError):

@@ -66,13 +66,19 @@ __all__ = [
 #: (``dcm_profile``/``conscale_headroom``) with the generic
 #: ``controller_params`` tuple — the spec's field layout (and hence its
 #: canonical encoding) changed, so v4 digests name different content.
-SCHEMA_VERSION = 5
+#: v6: the request path moved behind the flow-model abstraction and
+#: :class:`~repro.experiments.scenarios.ScenarioConfig` grew ``mode``
+#: (discrete / fluid / hybrid), ``arrivals`` (open / closed) and
+#: ``demand_distribution`` (gamma / lognormal) — the config's canonical
+#: encoding changed, so v5 digests name different content. Default
+#: (discrete, open, gamma) runs remain event-for-event identical to v5.
+SCHEMA_VERSION = 6
 
 #: Older artifact schemas that still load (``DecisionTrace`` upgrades
 #: their pickled ``ActionLog`` transparently; pre-fault artifacts read
 #: as fault-free). The result *cache* only accepts the current version;
 #: this set is for explicitly saved artifact files.
-COMPAT_SCHEMAS = frozenset({1, 2, 3, 4, SCHEMA_VERSION})
+COMPAT_SCHEMAS = frozenset({1, 2, 3, 4, 5, SCHEMA_VERSION})
 
 
 def __getattr__(name: str):

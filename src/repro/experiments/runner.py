@@ -48,7 +48,19 @@ from repro.scaling.registry import (
     registered_frameworks,
 )
 from repro.sim.engine import PRIORITY_SAMPLER, Simulator
-from repro.workload.generator import OpenLoopGenerator, RequestFactory
+from repro.sim.flowmodel import (
+    DiscreteFlowModel,
+    FlowModel,
+    FluidFlowModel,
+    HybridFlowModel,
+)
+from repro.sim.fluid import FluidStepper
+from repro.sim.governor import ModeGovernor
+from repro.workload.generator import (
+    ClosedLoopGenerator,
+    OpenLoopGenerator,
+    RequestFactory,
+)
 from repro.workload.mixes import WorkloadMix, browse_only_mix, read_write_mix
 from repro.workload.shapes import make_trace
 from repro.workload.trace import Trace
@@ -78,9 +90,64 @@ _DRAIN_GRACE = DRAIN_GRACE
 
 def _build_mix(config: ScenarioConfig) -> WorkloadMix:
     base = config.calibration.base_demands
+    dist = config.demand_distribution
     if config.workload_mode == "browse":
-        return browse_only_mix(base)
-    return read_write_mix(base)
+        return browse_only_mix(base, distribution=dist)
+    return read_write_mix(base, distribution=dist)
+
+
+def _build_flow_model(
+    config: ScenarioConfig,
+    *,
+    sim: Simulator,
+    app: NTierApplication,
+    generator: "OpenLoopGenerator | ClosedLoopGenerator",
+    mix: WorkloadMix,
+    trace: Trace,
+    req_factory: RequestFactory,
+    rng: RngRegistry,
+    bus: ControlBus,
+    faults,
+) -> FlowModel:
+    """Wrap the request path in the configured flow model.
+
+    ``discrete`` is a pure pass-through around the generator (event-for-
+    event identical to the pre-flow-model runner). ``fluid`` and
+    ``hybrid`` build a :class:`FluidStepper` over the same calibration;
+    hybrid additionally wires the :class:`ModeGovernor` with the trace
+    and the declarative fault plan so switches anticipate bursts and
+    fault windows.
+    """
+    if config.mode == "discrete":
+        return DiscreteFlowModel(generator)
+    cal = config.calibration
+    closed = config.arrivals == "closed"
+    stepper = FluidStepper(
+        sim,
+        app,
+        mix,
+        rng.stream("fluid"),
+        think_time=cal.think_time,
+        arrivals=config.arrivals,
+        trace=None if closed else trace,
+        population=max(1, int(round(config.scaled_users))) if closed else None,
+        dataset_scale=cal.dataset_scale,
+        demand_scale=config.demand_scale,
+    )
+    if config.mode == "fluid":
+        return FluidFlowModel(stepper, req_factory)
+    assert isinstance(generator, OpenLoopGenerator)  # enforced by config
+    governor = ModeGovernor(
+        sim,
+        app,
+        generator,
+        stepper,
+        req_factory,
+        bus,
+        trace=trace,
+        faults=faults,
+    )
+    return HybridFlowModel(governor)
 
 
 def run_experiment(
@@ -182,8 +249,33 @@ def execute_spec(spec: RunSpec, *, sim: Simulator | None = None) -> RunArtifact:
         dataset_scale=cal.dataset_scale,
         demand_scale=config.demand_scale,
     )
-    generator = OpenLoopGenerator(
-        sim, app, trace, req_factory, rng.stream("arrivals"), cal.think_time
+    generator: OpenLoopGenerator | ClosedLoopGenerator
+    if config.arrivals == "closed":
+        # A synchronous user population sized from the scaled trace peak
+        # (think-time loop), the Fig. 3/7 closed-system mode.
+        generator = ClosedLoopGenerator(
+            sim,
+            app,
+            max(1, int(round(config.scaled_users))),
+            req_factory,
+            rng.stream("arrivals"),
+            cal.think_time,
+        )
+    else:
+        generator = OpenLoopGenerator(
+            sim, app, trace, req_factory, rng.stream("arrivals"), cal.think_time
+        )
+    flow = _build_flow_model(
+        config,
+        sim=sim,
+        app=app,
+        generator=generator,
+        mix=mix,
+        trace=trace,
+        req_factory=req_factory,
+        rng=rng,
+        bus=bus,
+        faults=spec.faults,
     )
 
     # --- controller -----------------------------------------------------
@@ -215,7 +307,7 @@ def execute_spec(spec: RunSpec, *, sim: Simulator | None = None) -> RunArtifact:
     injector: FaultInjector | None = None
     if spec.faults is not None:
         injector = FaultInjector(
-            sim, app, actuator, hypervisor, warehouse, generator, bus
+            sim, app, actuator, hypervisor, warehouse, flow, bus
         )
         injector.schedule(spec.faults)
 
@@ -238,9 +330,9 @@ def execute_spec(spec: RunSpec, *, sim: Simulator | None = None) -> RunArtifact:
     vm_sampler = warehouse.register_sampler(_sample_vms, priority=PRIORITY_SAMPLER)
 
     # --- run --------------------------------------------------------------
-    generator.start()
+    flow.start()
     sim.run(until=config.duration)
-    generator.stop()
+    flow.stop()
     controller.stop()
     sim.run(until=config.duration + DRAIN_GRACE)
     vm_sampler.stop()
@@ -276,9 +368,9 @@ def execute_spec(spec: RunSpec, *, sim: Simulator | None = None) -> RunArtifact:
         resilience = build_resilience_summary(
             injector.episodes,
             failed=app.failed,
-            retried=generator.retried,
-            timeouts=generator.timeouts,
-            abandoned=generator.abandoned,
+            retried=flow.retried,
+            timeouts=flow.timeouts,
+            abandoned=flow.abandoned,
             latencies=latencies,
             completion_times=log.completion_times,
             horizon=config.duration + DRAIN_GRACE,
@@ -290,7 +382,7 @@ def execute_spec(spec: RunSpec, *, sim: Simulator | None = None) -> RunArtifact:
         completion_times=log.completion_times,
         arrival_times=log.arrival_times,
         interactions=np.array(log.interactions, dtype=str),
-        generated=generator.generated,
+        generated=flow.generated,
         completed=len(log),
         actions=actions,
         vm_times=np.asarray(vm_times),
@@ -300,6 +392,6 @@ def execute_spec(spec: RunSpec, *, sim: Simulator | None = None) -> RunArtifact:
         estimates=estimates,
         fine_series=fine_series,
         failed=app.failed,
-        retried=generator.retried,
+        retried=flow.retried,
         resilience=resilience,
     )

@@ -16,9 +16,15 @@ from dataclasses import dataclass, field, replace
 from repro.errors import ConfigurationError
 from repro.experiments.calibration import Calibration, default_calibration
 from repro.ntier.app import SoftResourceAllocation
+from repro.ntier.demand import DEMAND_DISTRIBUTIONS
 from repro.scaling.policy import TierPolicyConfig
+from repro.sim.flowmodel import SIM_MODES
 
-__all__ = ["ScenarioConfig"]
+__all__ = ["ScenarioConfig", "ARRIVAL_MODELS"]
+
+#: How requests enter the system: an open trace-driven arrival process,
+#: or a closed population of synchronous users (submit → wait → think).
+ARRIVAL_MODELS = ("open", "closed")
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,6 +44,15 @@ class ScenarioConfig:
     calibration: Calibration = field(default_factory=default_calibration)
     workload_mode: str = "browse"  # "browse" | "readwrite"
     balancing: str = "leastconn"  # HAProxy policy: "leastconn" | "roundrobin"
+    # Simulation mode: per-request discrete events, the aggregate fluid
+    # integrator, or governor-switched hybrid (repro.sim.flowmodel).
+    mode: str = "discrete"
+    # Arrival model: "open" (trace-driven Poisson) or "closed" (a fixed
+    # population of synchronous users sized from the trace peak).
+    arrivals: str = "open"
+    # Service-demand distribution drawn per request ("gamma" default;
+    # "lognormal" for the heavy-tailed variant at matched mean/CV).
+    demand_distribution: str = "gamma"
     prep_period: float = 15.0
     policy: TierPolicyConfig = field(default_factory=TierPolicyConfig)
     # SCT / estimator knobs
@@ -65,6 +80,27 @@ class ScenarioConfig:
             raise ConfigurationError(f"bad topology {self.topology!r}")
         if self.duration <= 0 or self.max_users <= 0:
             raise ConfigurationError("duration and max_users must be positive")
+        if self.mode not in SIM_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {SIM_MODES}, got {self.mode!r}"
+            )
+        if self.arrivals not in ARRIVAL_MODELS:
+            raise ConfigurationError(
+                f"arrivals must be one of {ARRIVAL_MODELS}, got {self.arrivals!r}"
+            )
+        if self.mode == "hybrid" and self.arrivals != "open":
+            # The governor suspends/resumes the open-loop arrival chain;
+            # a closed population has no chain to suspend, so closed
+            # runs pick a pinned mode (discrete or fluid) instead.
+            raise ConfigurationError(
+                "hybrid mode requires open arrivals; use mode='fluid' or "
+                "'discrete' with arrivals='closed'"
+            )
+        if self.demand_distribution not in DEMAND_DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"demand_distribution must be one of {DEMAND_DISTRIBUTIONS}, "
+                f"got {self.demand_distribution!r}"
+            )
 
     # ------------------------------------------------------------------
     @property

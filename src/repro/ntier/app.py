@@ -29,7 +29,15 @@ from repro.ntier.server import Server
 from repro.ntier.tier import Tier
 from repro.sim.engine import Simulator
 
-__all__ = ["NTierApplication", "SoftResourceAllocation", "WEB", "APP", "DB", "CACHE"]
+__all__ = [
+    "NTierApplication",
+    "SoftResourceAllocation",
+    "TierFlowState",
+    "WEB",
+    "APP",
+    "DB",
+    "CACHE",
+]
 
 WEB = "web"
 APP = "app"
@@ -72,6 +80,29 @@ class SoftResourceAllocation:
             # arrives.
             return 100_000
         raise ConfigurationError(f"unknown tier {tier!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class TierFlowState:
+    """Aggregate hand-off state of one tier for the fluid integrator.
+
+    ``outstanding`` counts every request the tier currently owns
+    (admitted plus queued for a thread/connection); ``soft_cap`` is the
+    tier's total soft-resource concurrency limit (worker threads, or the
+    summed DB connection pools for the DB tier) and ``soft_in_use`` how
+    much of it is held right now. The fluid stepper reads the caps to
+    bound its occupancy, and the mode governor reads ``outstanding`` to
+    know when discrete stragglers have drained out of a fluid phase.
+    """
+
+    tier: str
+    servers: int
+    outstanding: int
+    admitted: int
+    active: int
+    queued: int
+    soft_cap: int
+    soft_in_use: int
 
 
 class NTierApplication:
@@ -153,6 +184,57 @@ class NTierApplication:
             sum(s.threads.queued for s in servers),
             sum(s.threads.limit for s in servers),
         )
+
+    def tier_flow_state(self, tier: str) -> TierFlowState:
+        """Snapshot one tier's aggregate occupancy for the flow model."""
+        t = self.tiers.get(tier)
+        if t is None:
+            raise ConfigurationError(f"unknown tier {tier!r}")
+        servers = t.servers
+        admitted = sum(s.admitted for s in servers)
+        active = sum(s.active for s in servers)
+        queued = sum(s.threads.queued for s in servers)
+        if tier == DB:
+            pools = sorted(self.conn_pools.items())
+            soft_cap = sum(p.limit for _, p in pools)
+            soft_in_use = sum(p.in_use for _, p in pools)
+            # Requests queued on a connection pool are waiting *for* the
+            # DB tier even though they sit in an app server.
+            queued += sum(p.queued for _, p in pools)
+        else:
+            soft_cap = sum(s.threads.limit for s in servers)
+            soft_in_use = admitted
+        return TierFlowState(
+            tier=tier,
+            servers=t.size,
+            outstanding=admitted + queued,
+            admitted=admitted,
+            active=active,
+            queued=queued,
+            soft_cap=soft_cap,
+            soft_in_use=soft_in_use,
+        )
+
+    def record_synthetic_completion(self, request: Request) -> None:
+        """Account one fluid-phase completion as a full request lifecycle.
+
+        The fluid integrator does not route requests through the tiers;
+        it deposits aggregate state into the servers directly (see
+        :meth:`~repro.ntier.server.Server.absorb_flow`) and then records
+        each integer completion here so the application-level
+        conservation law (``submitted == completed + failed +
+        in_flight``) and the completion listeners (request log,
+        generators) see the same stream they would in discrete mode.
+        """
+        if request.completion is None:
+            raise SimulationError(
+                f"synthetic completion for request {request.req_id} "
+                "has no completion time"
+            )
+        self.submitted += 1
+        self.completed += 1
+        for listener in self._on_complete:
+            listener(request)
 
     def on_complete(self, listener: Callable[[Request], None]) -> None:
         """Register a completion listener (monitoring, closed-loop users)."""

@@ -22,7 +22,12 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["TierDemand", "DemandProfile"]
+__all__ = ["TierDemand", "DemandProfile", "DEMAND_DISTRIBUTIONS"]
+
+#: Supported per-request demand distributions. Both are parameterised by
+#: (mean, cv); gamma is the historical default, lognormal gives the
+#: heavier right tail of real service demands (ROADMAP heavy-tail item).
+DEMAND_DISTRIBUTIONS = ("gamma", "lognormal")
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,6 +72,17 @@ class DemandProfile:
 
     interaction: str
     tiers: dict[str, TierDemand] = field(default_factory=dict)
+    #: Per-request demand distribution: ``"gamma"`` (default, matches
+    #: the historical draws byte-for-byte) or ``"lognormal"`` (heavier
+    #: tail at the same mean and cv, moment-matched).
+    distribution: str = "gamma"
+
+    def __post_init__(self) -> None:
+        if self.distribution not in DEMAND_DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"unknown demand distribution {self.distribution!r}; "
+                f"expected one of {DEMAND_DISTRIBUTIONS}"
+            )
 
     def draw(
         self,
@@ -86,6 +102,13 @@ class DemandProfile:
             mean = td.effective_mean(dataset_scale) * demand_scale
             if td.cv == 0:
                 out[tier_name] = mean
+            elif self.distribution == "lognormal":
+                # Moment-matched lognormal: sigma^2 = ln(1 + cv^2),
+                # mu = ln(mean) - sigma^2/2 gives exactly the requested
+                # mean and CV with a heavier right tail than the gamma.
+                sigma_sq = float(np.log1p(td.cv * td.cv))
+                mu = float(np.log(mean)) - 0.5 * sigma_sq
+                out[tier_name] = float(rng.lognormal(mu, sigma_sq**0.5))
             else:
                 # Gamma with shape k = 1/cv^2 has the requested CV and
                 # mean `mean` with scale = mean/k.

@@ -281,6 +281,43 @@ class Server:
         """
         self._advance_clock()
 
+    # ------------------------------------------------------------------
+    # fluid-mode telemetry hand-off
+    # ------------------------------------------------------------------
+    def absorb_flow(
+        self,
+        *,
+        dt: float,
+        active: float,
+        admitted: float,
+        completions: int = 0,
+        latency: float = 0.0,
+        arrivals: int = 0,
+    ) -> None:
+        """Advance the monitoring accumulators with aggregate flow state.
+
+        The fluid integrator has no per-request events, but controllers
+        and the warehouse only ever read these monotone accumulators —
+        so depositing the integrator's per-step occupancy/throughput
+        here makes fluid phases indistinguishable, telemetry-wise, from
+        discrete ones. ``active``/``admitted`` are this server's share
+        of the tier's fluid occupancy over the step ``dt``; the PS
+        credit clock is advanced first so discrete stragglers draining
+        through a fluid phase keep exact accounting.
+        """
+        self._advance_clock()
+        self.concurrency_integral += dt * admitted
+        self.active_integral += dt * active
+        if active > 0.0:
+            for res in self.capacity.resources:
+                self.util_integral[res.name] += dt * self.capacity.utilization(
+                    res.name, active, admitted
+                )
+        self.completions += completions
+        self.latency_total += latency
+        self.arrivals += arrivals
+        self.work_completions += completions
+
     def _reschedule(self) -> None:
         """Recompute the PS rate and (re)schedule the next completion.
 

@@ -19,6 +19,9 @@ sequences; the equivalence harness in
 :mod:`repro.experiments.calendar_equiv` pins that property.
 """
 
+from importlib import import_module
+from typing import Any
+
 from repro.sim.calendar import CALENDARS, HeapCalendar, WheelCalendar
 from repro.sim.engine import Simulator
 from repro.sim.event import EventHandle
@@ -31,4 +34,34 @@ __all__ = [
     "CALENDARS",
     "HeapCalendar",
     "WheelCalendar",
+    "FlowModel",
+    "DiscreteFlowModel",
+    "FluidFlowModel",
+    "HybridFlowModel",
+    "FluidStepper",
+    "ModeGovernor",
+    "GovernorConfig",
+    "SIM_MODES",
 ]
+
+# The flow-model layer sits above the n-tier model (the fluid stepper
+# integrates repro.ntier state), while the n-tier servers import the
+# engine from this package — so these symbols are re-exported lazily to
+# keep the package import acyclic.
+_FLOW_EXPORTS = {
+    "FlowModel": "repro.sim.flowmodel",
+    "DiscreteFlowModel": "repro.sim.flowmodel",
+    "FluidFlowModel": "repro.sim.flowmodel",
+    "HybridFlowModel": "repro.sim.flowmodel",
+    "SIM_MODES": "repro.sim.flowmodel",
+    "FluidStepper": "repro.sim.fluid",
+    "ModeGovernor": "repro.sim.governor",
+    "GovernorConfig": "repro.sim.governor",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module = _FLOW_EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(import_module(module), name)

@@ -21,7 +21,9 @@ __all__ = [
     "CALENDARS",
     "TIE_ORDERS",
     "PRIORITY_MODEL",
+    "PRIORITY_FLUID",
     "PRIORITY_WAREHOUSE",
+    "PRIORITY_GOVERNOR",
     "PRIORITY_CONTROLLER",
     "PRIORITY_SAMPLER",
     "PRIORITY_FINE_MONITOR",
@@ -40,8 +42,20 @@ __all__ = [
 
 #: Model/mutator events: arrivals, completions, launches, faults.
 PRIORITY_MODEL = 0
+#: The fluid integrator's fixed-step tick. Strictly after the model
+#: events of the same instant: a VM boot completing exactly on the
+#: integration grid must attach its server *before* the step that ends
+#: there, otherwise the tick/attach tie-order would decide which
+#: topology the step integrates against (a race the tie-order detector
+#: flags).
+PRIORITY_FLUID = 5
 #: The metric warehouse's 1 s collection tick.
 PRIORITY_WAREHOUSE = 10
+#: The hybrid-mode governor's tick: after the warehouse has aggregated
+#: the instant (so telemetry it inspects is settled) but before the
+#: controllers act, so a mode switch at t is visible to the decision
+#: tick at the same t.
+PRIORITY_GOVERNOR = 15
 #: Controller decision ticks (read telemetry, command the actuator).
 PRIORITY_CONTROLLER = 20
 #: End-of-instant samplers (e.g. the runner's VM-count sampler).

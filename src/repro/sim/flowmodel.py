@@ -1,0 +1,202 @@
+"""The flow-model abstraction: how requests enter and traverse the sim.
+
+The experiment runner drives the request path through a
+:class:`FlowModel` with three implementations:
+
+* :class:`DiscreteFlowModel` — the classical per-request machinery: an
+  open- or closed-loop generator issues every request as discrete
+  events. This wraps the generator without changing a single event, so
+  ``--mode discrete`` stays byte-identical to the pre-flow-model
+  runner.
+* :class:`FluidFlowModel` — the generator never starts; the
+  :class:`~repro.sim.fluid.FluidStepper` is the sole driver from t=0.
+  At the end of the generation window the integer outstanding mass is
+  re-materialised as discrete requests so the drain grace period works
+  exactly as in discrete mode.
+* :class:`HybridFlowModel` — a :class:`~repro.sim.governor.ModeGovernor`
+  switches between the two at runtime.
+
+The interface deliberately mirrors the generator surface the runner and
+the fault injector already consume (``start``/``stop``, the
+``generated``/``retried``/``timeouts``/``abandoned`` counters, and the
+client-timeout hooks), so swapping models is purely a wiring change.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.fluid import FluidStepper
+    from repro.sim.governor import ModeGovernor
+    from repro.workload.generator import (
+        ClosedLoopGenerator,
+        OpenLoopGenerator,
+        RequestFactory,
+    )
+
+__all__ = [
+    "FlowModel",
+    "DiscreteFlowModel",
+    "FluidFlowModel",
+    "HybridFlowModel",
+    "SIM_MODES",
+]
+
+#: Recognised simulation modes, in the order the CLI documents them.
+SIM_MODES = ("discrete", "fluid", "hybrid")
+
+
+class FlowModel(ABC):
+    """How the request stream is produced and advanced."""
+
+    #: Mode label, one of :data:`SIM_MODES`.
+    name: str
+
+    @abstractmethod
+    def start(self) -> None:
+        """Begin producing the request stream at the current time."""
+
+    @abstractmethod
+    def stop(self) -> None:
+        """Close the generation window (in-flight work keeps draining)."""
+
+    # -- counters ------------------------------------------------------
+    @property
+    @abstractmethod
+    def generated(self) -> int:
+        """Requests produced (discrete arrivals + fluid ledger)."""
+
+    @property
+    def retried(self) -> int:
+        return 0
+
+    @property
+    def timeouts(self) -> int:
+        return 0
+
+    @property
+    def abandoned(self) -> int:
+        return 0
+
+    # -- fault-injection hooks ----------------------------------------
+    def set_client_timeout(self, deadline: float, max_retries: int = 2) -> None:
+        """Client-deadline fault hook; models without a discrete client
+        population ignore it (the governor keeps fault windows discrete
+        in hybrid runs, where it matters)."""
+
+    def clear_client_timeout(self) -> None:
+        """Counterpart of :meth:`set_client_timeout`."""
+
+
+class DiscreteFlowModel(FlowModel):
+    """Pass-through to the per-request generator (today's behaviour)."""
+
+    name = "discrete"
+
+    def __init__(self, generator: "OpenLoopGenerator | ClosedLoopGenerator") -> None:
+        self._generator = generator
+
+    def start(self) -> None:
+        self._generator.start()
+
+    def stop(self) -> None:
+        self._generator.stop()
+
+    @property
+    def generated(self) -> int:
+        return self._generator.generated
+
+    @property
+    def retried(self) -> int:
+        return self._generator.retried
+
+    @property
+    def timeouts(self) -> int:
+        return self._generator.timeouts
+
+    @property
+    def abandoned(self) -> int:
+        return self._generator.abandoned
+
+    def set_client_timeout(self, deadline: float, max_retries: int = 2) -> None:
+        self._generator.set_client_timeout(deadline, max_retries)
+
+    def clear_client_timeout(self) -> None:
+        self._generator.clear_client_timeout()
+
+
+class FluidFlowModel(FlowModel):
+    """Pinned fluid mode: the aggregate integrator drives the whole run."""
+
+    name = "fluid"
+
+    def __init__(self, stepper: "FluidStepper", factory: "RequestFactory") -> None:
+        self._stepper = stepper
+        self._factory = factory
+        self.materialised = 0
+
+    def start(self) -> None:
+        self._stepper.start()
+
+    def stop(self) -> None:
+        """Halt integration and drain the ledger through discrete events.
+
+        The outstanding integer mass becomes real requests submitted at
+        the current instant; they complete through the normal discrete
+        machinery during the runner's drain grace period, so the run's
+        conservation law closes exactly.
+        """
+        stepper = self._stepper
+        handover = stepper.halt()
+        self.materialised += handover
+        for request in stepper.materialise_requests(self._factory, handover):
+            stepper.app.submit(request)
+
+    @property
+    def generated(self) -> int:
+        return self._stepper.generated
+
+
+class HybridFlowModel(FlowModel):
+    """Governor-switched discrete/fluid execution."""
+
+    name = "hybrid"
+
+    def __init__(self, governor: "ModeGovernor") -> None:
+        self._governor = governor
+
+    @property
+    def governor(self) -> "ModeGovernor":
+        return self._governor
+
+    def start(self) -> None:
+        self._governor.generator.start()
+        self._governor.start()
+
+    def stop(self) -> None:
+        self._governor.generator.stop()
+        self._governor.finish()
+
+    @property
+    def generated(self) -> int:
+        return self._governor.generator.generated + self._governor.stepper.generated
+
+    @property
+    def retried(self) -> int:
+        return self._governor.generator.retried
+
+    @property
+    def timeouts(self) -> int:
+        return self._governor.generator.timeouts
+
+    @property
+    def abandoned(self) -> int:
+        return self._governor.generator.abandoned
+
+    def set_client_timeout(self, deadline: float, max_retries: int = 2) -> None:
+        self._governor.generator.set_client_timeout(deadline, max_retries)
+
+    def clear_client_timeout(self) -> None:
+        self._governor.generator.clear_client_timeout()

@@ -21,6 +21,7 @@ from repro.errors import ConfigurationError
 from repro.ntier.app import NTierApplication
 from repro.ntier.request import Request
 from repro.sim.engine import Simulator
+from repro.sim.event import EventHandle
 from repro.workload.mixes import WorkloadMix
 from repro.workload.trace import Trace
 
@@ -101,6 +102,8 @@ class OpenLoopGenerator:
         self._max_retries = 0
         self._watch: dict[int, tuple[object, int, float]] = {}
         self._stopped = False
+        self._suspended = False
+        self._next_event: EventHandle | None = None
         app.on_complete(self._on_request_complete)
         app.on_fail(self._on_request_fail)
 
@@ -111,6 +114,30 @@ class OpenLoopGenerator:
     def stop(self) -> None:
         """Stop generating new arrivals (in-flight requests finish)."""
         self._stopped = True
+
+    # ------------------------------------------------------------------
+    # fluid-mode hand-off (hybrid simulation)
+    # ------------------------------------------------------------------
+    def suspend(self) -> None:
+        """Pause arrival generation without tearing the generator down.
+
+        The pending next-arrival event is cancelled; requests already in
+        flight keep draining through the discrete machinery. Used by the
+        :class:`~repro.sim.governor.ModeGovernor` when the fluid
+        integrator takes over the arrival stream.
+        """
+        self._suspended = True
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+
+    def resume(self) -> None:
+        """Resume arrival generation at the current simulation time."""
+        if not self._suspended:
+            return
+        self._suspended = False
+        if not self._stopped:
+            self._schedule_next()
 
     # ------------------------------------------------------------------
     # client deadline + capped retry (fault injection)
@@ -147,20 +174,20 @@ class OpenLoopGenerator:
         return self.trace.users_at(t) / self.think_time
 
     def _schedule_next(self) -> None:
-        if self._stopped:
+        if self._stopped or self._suspended:
             return
         now = self.sim.now
         if now >= self.trace.duration:
             return
         rate = self.rate_at(now)
         if rate <= 1e-9:
-            self.sim.schedule_after(_MAX_GAP, self._tick_idle)
+            self._next_event = self.sim.schedule_after(_MAX_GAP, self._tick_idle)
             return
         gap = float(self.rng.exponential(1.0 / rate))
         if gap > _MAX_GAP:
-            self.sim.schedule_after(_MAX_GAP, self._tick_idle)
+            self._next_event = self.sim.schedule_after(_MAX_GAP, self._tick_idle)
         else:
-            self.sim.schedule_after(gap, self._arrive)
+            self._next_event = self.sim.schedule_after(gap, self._arrive)
 
     def _tick_idle(self) -> None:
         # No arrival happened in this re-evaluation slot; just resample.
@@ -262,6 +289,11 @@ class ClosedLoopGenerator:
         self.timeout = timeout
         self.generated = 0
         self.timeouts = 0
+        # Closed users re-issue on completion anyway, so a timeout never
+        # *retries* (that would double-issue); these counters exist for
+        # interface parity with the open generator's resilience summary.
+        self.retried = 0
+        self.abandoned = 0
         self._stopped = False
         self._pending: dict[int, object] = {}
         app.on_complete(self._on_complete)
@@ -278,6 +310,25 @@ class ClosedLoopGenerator:
     def stop(self) -> None:
         """Users stop re-issuing after their current request."""
         self._stopped = True
+
+    # ------------------------------------------------------------------
+    # client deadline (fault injection) — interface parity with the
+    # open-loop generator so the FaultInjector can drive either.
+    # ------------------------------------------------------------------
+    def set_client_timeout(self, deadline: float, max_retries: int = 2) -> None:
+        """Give subsequently issued requests an abandonment deadline.
+
+        In the closed model the user abandons the slow request and
+        re-issues on its next cycle (population is conserved), so
+        ``max_retries`` has no separate meaning here and is ignored.
+        """
+        if deadline <= 0:
+            raise ConfigurationError(f"deadline must be > 0, got {deadline!r}")
+        self.timeout = float(deadline)
+
+    def clear_client_timeout(self) -> None:
+        """New requests are issued without a deadline again."""
+        self.timeout = None
 
     def set_population(self, num_users: int) -> None:
         """Grow the user population at runtime (sweep support).

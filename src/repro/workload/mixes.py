@@ -45,6 +45,7 @@ class WorkloadMix:
         weights: dict[str, float],
         base_demands: dict[str, tuple[float, float]],
         app_dataset_exponent: float = 0.6,
+        distribution: str = "gamma",
     ) -> None:
         if not weights:
             raise ConfigurationError("a workload mix needs at least one interaction")
@@ -73,7 +74,9 @@ class WorkloadMix:
                     cv=cv,
                     dataset_exponent=dataset_exponents.get(tier, 0.0),
                 )
-            self._profiles[n] = DemandProfile(interaction=n, tiers=tiers)
+            self._profiles[n] = DemandProfile(
+                interaction=n, tiers=tiers, distribution=distribution
+            )
 
     # ------------------------------------------------------------------
     def canonical_key(self):
@@ -111,9 +114,35 @@ class WorkloadMix:
         idx = rng.choice(len(self._names), p=self._probs)
         return self._names[int(idx)]
 
+    def sample_interactions(self, rng: np.random.Generator, size: int) -> list[str]:
+        """Draw ``size`` interaction names in one vectorized call.
+
+        Used by the fluid integrator, which materialises synthetic
+        completions in per-step batches rather than one at a time.
+        """
+        if size <= 0:
+            return []
+        idx = rng.choice(len(self._names), size=size, p=self._probs)
+        return [self._names[int(i)] for i in idx]
+
     def profile(self, name: str) -> DemandProfile:
         """Demand profile of one interaction."""
         return self._profiles[name]
+
+    def demand_cv(self, tier: str) -> float:
+        """Mix-weighted demand coefficient of variation on ``tier``.
+
+        The fluid integrator shapes its synthetic per-tier service draws
+        with this (gamma at the matched CV), so fluid-phase latency
+        spreads mirror the discrete per-request gamma demands.
+        """
+        return float(
+            sum(
+                p * self._profiles[n].tiers[tier].cv
+                for n, p in zip(self._names, self._probs)
+                if tier in self._profiles[n].tiers
+            )
+        )
 
     def mean_demand(self, tier: str, dataset_scale: float = 1.0) -> float:
         """Mix-weighted mean demand on ``tier`` (seconds).
@@ -138,6 +167,7 @@ class WorkloadMix:
 
 def browse_only_mix(
     base_demands: dict[str, tuple[float, float]],
+    distribution: str = "gamma",
 ) -> WorkloadMix:
     """The CPU-intensive browse-only mode: reads only, browse-heavy."""
     weights = {
@@ -155,11 +185,12 @@ def browse_only_mix(
         "SearchInUsers": 2.0,
         "ViewUserInfo": 5.0,
     }
-    return WorkloadMix("browse-only", weights, base_demands)
+    return WorkloadMix("browse-only", weights, base_demands, distribution=distribution)
 
 
 def read_write_mix(
     base_demands: dict[str, tuple[float, float]],
+    distribution: str = "gamma",
 ) -> WorkloadMix:
     """The I/O-intensive read/write mode: ~15 % writes."""
     weights = {
@@ -179,4 +210,4 @@ def read_write_mix(
         "RegisterUserForm": 1.5,
         "StoreRegisterUser": 1.5,
     }
-    return WorkloadMix("read-write", weights, base_demands)
+    return WorkloadMix("read-write", weights, base_demands, distribution=distribution)

@@ -66,6 +66,72 @@ def test_draw_statistics_match_configuration():
     assert (draws > 0).all()
 
 
+def test_unknown_distribution_rejected():
+    with pytest.raises(ConfigurationError, match="distribution"):
+        DemandProfile(
+            interaction="X",
+            tiers={"db": TierDemand(mean=0.01)},
+            distribution="pareto",
+        )
+
+
+def test_gamma_default_draws_unchanged():
+    """The ``distribution`` field defaults to gamma and must reproduce
+    the historical draws bit-for-bit (byte-identity contract)."""
+    a = _profile(cv=0.3).draw(np.random.default_rng(7))
+    explicit = DemandProfile(
+        interaction="X",
+        tiers={
+            "web": TierDemand(mean=0.001, cv=0.3),
+            "db": TierDemand(mean=0.010, cv=0.3, dataset_exponent=1.0),
+        },
+        distribution="gamma",
+    )
+    b = explicit.draw(np.random.default_rng(7))
+    assert a == b
+    rng = np.random.default_rng(7)
+    shape = 1.0 / 0.3**2
+    assert a["web"] == float(rng.gamma(shape, 0.001 / shape))
+
+
+def _lognormal_profile(cv):
+    return DemandProfile(
+        interaction="X",
+        tiers={"db": TierDemand(mean=0.010, cv=cv)},
+        distribution="lognormal",
+    )
+
+
+def test_lognormal_moments_match_configuration():
+    rng = np.random.default_rng(42)
+    profile = _lognormal_profile(cv=0.5)
+    draws = np.array([profile.draw(rng)["db"] for _ in range(8000)])
+    assert draws.mean() == pytest.approx(0.010, rel=0.03)
+    assert draws.std() / draws.mean() == pytest.approx(0.5, rel=0.10)
+    assert (draws > 0).all()
+
+
+def test_lognormal_tail_heavier_than_gamma():
+    """Same mean and cv, but the lognormal's right tail dominates —
+    checked on the exact quantile functions, not samples."""
+    from scipy import stats
+
+    cv, mean = 0.8, 0.010
+    shape = 1.0 / cv**2
+    sigma_sq = np.log1p(cv * cv)
+    mu = np.log(mean) - sigma_sq / 2
+    q = 0.9999
+    gamma_q = stats.gamma.ppf(q, shape, scale=mean / shape)
+    logn_q = stats.lognorm.ppf(q, sigma_sq**0.5, scale=np.exp(mu))
+    assert logn_q > gamma_q
+
+
+def test_lognormal_cv_zero_is_deterministic():
+    rng = np.random.default_rng(0)
+    out = _lognormal_profile(cv=0.0).draw(rng)
+    assert out == {"db": 0.010}
+
+
 def test_mean_demand_lookup():
     profile = _profile()
     assert profile.mean_demand("db") == pytest.approx(0.010)

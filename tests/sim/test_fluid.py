@@ -1,0 +1,219 @@
+"""Tests for the aggregate fluid integrator (repro.sim.fluid)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.fluid import FLUID_ARRIVALS, FluidStepper, open_occupancy
+from repro.workload.generator import RequestFactory
+from repro.workload.trace import Trace
+
+from tests.conftest import build_app, tiny_mix
+
+
+def mmk_mean(lam: float, k: int, demand: float) -> float:
+    """Closed-form M/M/k mean number in system (Erlang-C)."""
+    a = lam * demand
+    rho = a / k
+    head = sum(a**j / math.factorial(j) for j in range(k))
+    last = a**k / (math.factorial(k) * (1.0 - rho))
+    erlang_c = last / (head + last)
+    return a + erlang_c * rho / (1.0 - rho)
+
+
+def mmk_rates(k: int, demand: float, cap: int) -> np.ndarray:
+    """Birth–death completion-rate table of a k-unit resource."""
+    return np.minimum(np.arange(1, cap + 1, dtype=float), k) / demand
+
+
+# ----------------------------------------------------------------------
+# the stationary solver
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "lam,k,demand",
+    [(3.0, 5, 1.0), (10.0, 12, 1.0), (0.5, 1, 1.0), (40.0, 50, 0.8)],
+)
+def test_open_occupancy_matches_erlang_c(lam, k, demand):
+    """For a penalty-free k-unit resource the birth–death mean is
+    exactly the M/M/k closed form, to machine precision."""
+    mean, stable = open_occupancy(lam, mmk_rates(k, demand, cap=k))
+    assert stable
+    assert mean == pytest.approx(mmk_mean(lam, k, demand), rel=1e-12)
+
+
+def test_open_occupancy_flat_tail_beyond_cap_is_equivalent():
+    """Padding the table with flat rates beyond k (the soft-cap region)
+    must not change the answer — the closed-form geometric tail and the
+    explicit flat entries describe the same queue."""
+    short, _ = open_occupancy(7.0, mmk_rates(10, 0.005 * 200, cap=10))
+    padded, _ = open_occupancy(7.0, mmk_rates(10, 0.005 * 200, cap=60))
+    assert padded == pytest.approx(short, rel=1e-9)
+
+
+def test_open_occupancy_edge_cases():
+    assert open_occupancy(0.0, mmk_rates(2, 1.0, 2)) == (0.0, True)
+    mean, stable = open_occupancy(1.0, np.zeros(0))
+    assert math.isinf(mean) and not stable
+    # Offered load at/above the stability margin of the saturated rate.
+    mean, stable = open_occupancy(1.99, mmk_rates(2, 1.0, 2))
+    assert math.isinf(mean) and not stable
+
+
+# ----------------------------------------------------------------------
+# stepper construction
+# ----------------------------------------------------------------------
+
+def make_stepper(sim, rng, app, *, arrivals="open", trace=None,
+                 population=None, think_time=1.0, cv=0.0, **kw):
+    return FluidStepper(
+        sim, app, tiny_mix(cv=cv), rng.stream("fluid"),
+        think_time=think_time, arrivals=arrivals, trace=trace,
+        population=population, **kw,
+    )
+
+
+def test_stepper_validation(sim, rng):
+    app = build_app(sim)
+    trace = Trace("flat", [0.0, 10.0], [10.0, 10.0])
+    with pytest.raises(ConfigurationError, match="arrival model"):
+        make_stepper(sim, rng, app, arrivals="batch", trace=trace)
+    with pytest.raises(ConfigurationError, match="needs a trace"):
+        make_stepper(sim, rng, app, arrivals="open", trace=None)
+    with pytest.raises(ConfigurationError, match="population"):
+        make_stepper(sim, rng, app, arrivals="closed", population=0)
+    with pytest.raises(ConfigurationError, match="think_time"):
+        make_stepper(sim, rng, app, trace=trace, think_time=0.0)
+    with pytest.raises(ConfigurationError, match="step"):
+        make_stepper(sim, rng, app, trace=trace, step=0.0)
+    assert FLUID_ARRIVALS == ("open", "closed")
+
+
+def test_stepper_phase_lifecycle_guards(sim, rng):
+    app = build_app(sim, db_a_sat=1000)
+    trace = Trace("flat", [0.0, 10.0], [10.0, 10.0])
+    stepper = make_stepper(sim, rng, app, trace=trace)
+    with pytest.raises(SimulationError):
+        stepper.halt()  # not running
+    stepper.start()
+    with pytest.raises(SimulationError):
+        stepper.start()  # already running
+
+
+# ----------------------------------------------------------------------
+# steady state vs the analytic oracle
+# ----------------------------------------------------------------------
+
+def test_stepper_db_occupancy_matches_mmk_oracle(sim, rng):
+    """Open arrivals into a penalty-free 10-unit DB resource: the fluid
+    occupancy must relax to the independently computed M/M/10 mean."""
+    app = build_app(sim, db_a_sat=10.0)  # web/app effectively infinite
+    lam = 1400.0  # util = 1400 * 0.005 / 10 = 0.70
+    trace = Trace("flat", [0.0, 60.0], [lam, lam])  # think_time = 1.0
+    stepper = make_stepper(sim, rng, app, trace=trace)
+    stepper.start()
+    sim.run(until=30.0)
+    expected = mmk_mean(lam, 10, 0.005)
+    assert stepper.occupancy()["db"] == pytest.approx(expected, rel=0.02)
+
+
+def test_stepper_open_throughput_tracks_offered_load(sim, rng):
+    app = build_app(sim, db_a_sat=1000)
+    trace = Trace("flat", [0.0, 20.0], [100.0, 100.0])
+    stepper = make_stepper(sim, rng, app, trace=trace)
+    stepper.start()
+    sim.run(until=20.0)
+    # 100 users / 1 s think = 100 req/s offered; the system is fast, so
+    # nearly everything completes inside the window.
+    assert stepper.generated == pytest.approx(2000, rel=0.02)
+    assert stepper.completed == pytest.approx(2000, rel=0.03)
+
+
+def test_stepper_closed_population_matches_cycle_time(sim, rng):
+    """Closed MVA path, no queueing: throughput = P / (Z + sum demands)."""
+    app = build_app(sim, db_a_sat=1000)
+    stepper = make_stepper(sim, rng, app, arrivals="closed", population=4)
+    stepper.start()
+    sim.run(until=20.0)
+    # tiny_mix demands sum to 7.5 ms; think time 1 s.
+    assert stepper.completed == pytest.approx(4 / 1.0075 * 20.0, rel=0.05)
+
+
+# ----------------------------------------------------------------------
+# integer ledger / conservation
+# ----------------------------------------------------------------------
+
+def test_integer_ledger_conserves_requests(sim, rng):
+    app = build_app(sim, db_a_sat=1000)
+    trace = Trace("flat", [0.0, 10.0], [200.0, 200.0])
+    stepper = make_stepper(sim, rng, app, trace=trace)
+    stepper.start()
+    sim.run(until=10.0)
+    assert stepper.generated > 0
+    assert stepper.outstanding >= 0
+    assert (
+        stepper.outstanding
+        == stepper.generated - stepper.completed - stepper.materialised
+    )
+    handover = stepper.halt()
+    assert handover >= 0
+    assert stepper.outstanding == 0
+    assert stepper.generated == stepper.completed + stepper.materialised
+    # Synthetic completions flowed through the application counters.
+    assert app.completed == stepper.completed
+
+
+def test_ledger_spans_multiple_phases(sim, rng):
+    app = build_app(sim, db_a_sat=1000)
+    trace = Trace("flat", [0.0, 20.0], [100.0, 100.0])
+    stepper = make_stepper(sim, rng, app, trace=trace)
+    stepper.start()
+    sim.run(until=5.0)
+    first = stepper.halt()
+    sim.run(until=10.0)
+    stepper.start()
+    sim.run(until=15.0)
+    second = stepper.halt()
+    assert stepper.materialised == first + second
+    assert stepper.generated == stepper.completed + stepper.materialised
+    assert stepper.generated == pytest.approx(1000, rel=0.05)
+
+
+# ----------------------------------------------------------------------
+# telemetry + re-materialisation
+# ----------------------------------------------------------------------
+
+def test_fluid_phase_deposits_server_telemetry(sim, rng):
+    app = build_app(sim, db_a_sat=10.0)
+    trace = Trace("flat", [0.0, 10.0], [1000.0, 1000.0])
+    stepper = make_stepper(sim, rng, app, trace=trace)
+    stepper.start()
+    sim.run(until=10.0)
+    web = app.tiers["web"].servers[0]
+    db = app.tiers["db"].servers[0]
+    # Round-robin integer completions over one web server: exact match.
+    assert web.completions == stepper.completed > 0
+    assert web.latency_total > 0.0
+    assert db.util_integral["cpu"] > 0.0
+    assert db.concurrency_integral > 0.0
+
+
+def test_materialise_requests_scales_demands_to_half_work(sim, rng):
+    app = build_app(sim, db_a_sat=1000)
+    trace = Trace("flat", [0.0, 10.0], [100.0, 100.0])
+    stepper = make_stepper(sim, rng, app, trace=trace)
+    factory = RequestFactory(tiny_mix(cv=0.0), rng.stream("demand"))
+    requests = stepper.materialise_requests(factory, 400)
+    assert len(requests) == 400
+    # cv=0 demands are deterministic, so the scaling factor is exactly
+    # the drawn remaining-work fraction: in (0, 1), mean ~ 1/2.
+    fractions = [r.demands["db"] / 0.005 for r in requests]
+    assert all(0.0 <= f <= 1.0 for f in fractions)
+    assert np.mean(fractions) == pytest.approx(0.5, abs=0.08)
+    # All three tiers share one fraction per request.
+    req = requests[0]
+    assert req.demands["web"] / 0.0005 == pytest.approx(
+        req.demands["db"] / 0.005, rel=1e-9
+    )

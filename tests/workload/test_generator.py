@@ -105,6 +105,50 @@ def test_open_loop_rate_at(sim, rng):
     assert gen.rate_at(5.0) == pytest.approx(25.0)
 
 
+def test_open_loop_suspend_pauses_arrivals(sim, rng):
+    app = build_app(sim, db_a_sat=1000)
+    trace = Trace("flat", [0.0, 60.0], [100.0, 100.0])
+    gen = OpenLoopGenerator(
+        sim, app, trace, make_factory(rng), rng.stream("arr"), think_time=1.0
+    )
+    gen.start()
+    counts: list[int] = []
+    sim.schedule(10.0, gen.suspend)
+    sim.schedule(10.0, lambda: counts.append(gen.generated))
+    sim.schedule(20.0, lambda: counts.append(gen.generated))
+    sim.schedule(20.0, gen.resume)
+    sim.run(until=30.0)
+    # No arrivals during the suspension window; flow resumes after.
+    assert counts[0] == counts[1] > 0
+    assert gen.generated > counts[1]
+
+
+def test_open_loop_resume_without_suspend_is_noop(sim, rng):
+    app = build_app(sim, db_a_sat=1000)
+    trace = Trace("flat", [0.0, 10.0], [50.0, 50.0])
+    gen = OpenLoopGenerator(
+        sim, app, trace, make_factory(rng), rng.stream("arr"), think_time=1.0
+    )
+    gen.start()
+    sim.schedule(5.0, gen.resume)  # must not double-schedule arrivals
+    sim.run(until=10.0)
+    assert gen.generated == pytest.approx(500, rel=0.15)
+
+
+def test_open_loop_suspended_at_stop_stays_stopped(sim, rng):
+    app = build_app(sim, db_a_sat=1000)
+    trace = Trace("flat", [0.0, 60.0], [100.0, 100.0])
+    gen = OpenLoopGenerator(
+        sim, app, trace, make_factory(rng), rng.stream("arr"), think_time=1.0
+    )
+    gen.start()
+    sim.schedule(5.0, gen.suspend)
+    sim.schedule(6.0, gen.stop)
+    sim.schedule(7.0, gen.resume)
+    sim.run(until=20.0)
+    assert gen.generated == pytest.approx(500, rel=0.20)
+
+
 # ----------------------------------------------------------------------
 # closed loop
 # ----------------------------------------------------------------------
