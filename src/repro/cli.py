@@ -13,7 +13,11 @@ Commands:
   parameter schemas and decision-event kinds (``--json`` for machines);
 * ``resilience`` — the fault-injection suite: every framework crossed
   with each fault class on a bursty trace, with failed/retried counts
-  and per-fault recovery times;
+  and per-fault recovery times; ``--storylines`` swaps the grid for
+  the correlated incident templates and pairs every storylined run
+  with its fault-blind (``fault_aware=false``) ablation twin;
+* ``trace export`` — dump a cached run's decision trace
+  (``--jsonl`` for line-delimited JSON with a meta header line);
 * ``sweep`` — a concurrency sweep against one tier;
 * ``table1`` — regenerate Table I;
 * ``figure`` — regenerate one figure by number (1, 3, 5, 6, 7, 9, 10, 11);
@@ -31,6 +35,13 @@ and fails (exit 2) outside the equivalence tolerance. ``--arrivals
 closed`` swaps the open trace-driven stream for a closed population of
 synchronous users; ``--demand-dist lognormal`` draws heavy-tailed
 service demands at the calibrated mean/CV.
+
+``run --storyline NAME[:TIER[:T0[:DUR]]]`` injects one of the named
+correlated-incident templates (see ``repro.faults.storyline``:
+az-outage, brownout, flapping-node, cascading-retry-storm) instead of
+a hand-written ``--faults`` plan; the storyline lowers to an ordinary
+fault plan riding the run spec, so storylined runs stay cached,
+diffable (``diff --storyline-a/-b``) and byte-reproducible.
 
 ``run --race-check`` replays the scenario under a permuted
 same-timestamp tie-break order and fails (exit 2) if any observable
@@ -58,6 +69,7 @@ import argparse
 import os
 import sys
 
+from repro.control.events import RECOVERY_KINDS
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments import figures as figures_mod
 from repro.experiments.artifact import RunOverrides, RunSpec
@@ -74,8 +86,11 @@ from repro.experiments.engine import DEFAULT_CACHE_DIR, ExperimentEngine, RunEve
 from repro.experiments.report import ensure_results_dir, format_table
 from repro.experiments.resilience import (
     RESILIENCE_HEADERS,
+    STORYLINE_HEADERS,
     resilience_rows,
     resilience_suite,
+    storyline_rows,
+    storyline_suite,
 )
 from repro.experiments.scenarios import ARRIVAL_MODELS, ScenarioConfig
 from repro.ntier.demand import DEMAND_DISTRIBUTIONS
@@ -86,7 +101,8 @@ from repro.scaling.registry import (
     registered_frameworks,
 )
 from repro.experiments.sweep import concurrency_sweep
-from repro.faults.plan import parse_faults
+from repro.faults.plan import FaultPlan, parse_faults
+from repro.faults.storyline import parse_storyline, storyline_names
 from repro.sim.calendar import CALENDARS
 from repro.sim.flowmodel import SIM_MODES
 from repro.workload.mixes import browse_only_mix, read_write_mix
@@ -254,6 +270,25 @@ def _run_overrides(
     return RunOverrides.from_params(merged or None)
 
 
+def _fault_plan(
+    faults: str | None,
+    storyline: str | None,
+    args: argparse.Namespace,
+    suffix: str = "",
+) -> FaultPlan | None:
+    """Lower ``--faults`` / ``--storyline`` (mutually exclusive) to a plan."""
+    if faults is not None and storyline is not None:
+        raise ConfigurationError(
+            f"--faults{suffix} and --storyline{suffix} are mutually "
+            "exclusive: a storyline already is a fault plan"
+        )
+    if storyline is not None:
+        return parse_storyline(
+            storyline, run_duration=args.duration, seed=args.seed
+        )
+    return parse_faults(faults)
+
+
 def _direct_run(spec: RunSpec, args: argparse.Namespace):
     """Execute outside the engine: explicit calendar and/or profiling.
 
@@ -299,7 +334,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         args.framework,
         _config(args),
         _run_overrides(args.framework, args.param, args.headroom),
-        faults=parse_faults(args.faults),
+        faults=_fault_plan(args.faults, args.storyline, args),
     )
     if args.calendar_check:
         from repro.experiments.calendar_equiv import run_calendar_check
@@ -341,6 +376,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"in_flight_end={in_flight}"
         )
         print(f"fault events: {len(result.actions.faults())}")
+        recovery = result.actions.of_kind(*RECOVERY_KINDS)
+        print(
+            "recovery actions: "
+            + " ".join(
+                f"{kind}={sum(1 for e in recovery if e.kind == kind)}"
+                for kind in RECOVERY_KINDS
+            )
+        )
         summary = result.resilience
         if summary is not None and summary.episodes:
             recoveries = ",".join(
@@ -369,12 +412,12 @@ def cmd_diff(args: argparse.Namespace) -> int:
     spec_a = RunSpec(
         args.framework, config,
         _run_overrides(args.framework, args.param_a, args.headroom_a),
-        faults=parse_faults(args.faults_a),
+        faults=_fault_plan(args.faults_a, args.storyline_a, args, "-a"),
     )
     spec_b = RunSpec(
         args.framework, config,
         _run_overrides(args.framework, args.param_b, args.headroom_b),
-        faults=parse_faults(args.faults_b),
+        faults=_fault_plan(args.faults_b, args.storyline_b, args, "-b"),
     )
     if spec_a == spec_b:
         print("note: both sides resolve to the same spec "
@@ -441,16 +484,75 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     else:
         frameworks = registered
     engine = _engine(args)
-    specs = resilience_suite(
-        load_scale=args.scale,
-        duration=args.duration,
-        seed=args.seed,
-        frameworks=frameworks,
-        trace_name=args.trace,
-    )
-    results = engine.run_many(specs)
-    print(format_table(RESILIENCE_HEADERS, resilience_rows(results)))
+    if args.storylines:
+        names = (
+            tuple(s.strip() for s in args.storylines.split(",") if s.strip())
+            if isinstance(args.storylines, str)
+            else None
+        )
+        unknown = sorted(set(names or ()) - set(storyline_names()))
+        if unknown:
+            print(
+                f"unknown storylines: {', '.join(unknown)} "
+                f"(built-in: {', '.join(storyline_names())})",
+                file=sys.stderr,
+            )
+            return 2
+        specs = storyline_suite(
+            load_scale=args.scale,
+            duration=args.duration,
+            seed=args.seed,
+            frameworks=frameworks,
+            trace_name=args.trace,
+            storylines=names,
+        )
+        results = engine.run_many(specs)
+        print(format_table(STORYLINE_HEADERS, storyline_rows(results)))
+    else:
+        specs = resilience_suite(
+            load_scale=args.scale,
+            duration=args.duration,
+            seed=args.seed,
+            frameworks=frameworks,
+            trace_name=args.trace,
+        )
+        results = engine.run_many(specs)
+        print(format_table(RESILIENCE_HEADERS, resilience_rows(results)))
     _report_cache(engine)
+    return 0
+
+
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    """Export one run's decision trace (cached runs export instantly)."""
+    spec = RunSpec(
+        args.framework,
+        _config(args),
+        _run_overrides(args.framework, args.param, None),
+        faults=_fault_plan(args.faults, args.storyline, args),
+    )
+    engine = _engine(args)
+    result = engine.run(spec)
+    if args.jsonl:
+        from repro.experiments.persistence import trace_jsonl
+
+        lines = trace_jsonl(result)
+        if args.out:
+            parent = os.path.dirname(args.out)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(args.out, "w") as fh:
+                fh.write("\n".join(lines) + "\n")
+            print(
+                f"{len(lines) - 1} events written to {args.out}",
+                file=sys.stderr,
+            )
+        else:
+            print("\n".join(lines))
+        return 0
+    from repro.control.trace import DecisionTrace
+
+    events = result.actions.all() if args.noops else result.actions.material()
+    print(DecisionTrace.render(events))
     return 0
 
 
@@ -690,6 +792,13 @@ def build_parser() -> argparse.ArgumentParser:
         "prov, dropout, timeout)",
     )
     p_run.add_argument(
+        "--storyline", default=None, metavar="NAME[:TIER[:T0[:DUR]]]",
+        help="inject a named correlated-incident template instead of "
+        f"--faults (built-in: {', '.join(storyline_names())}); "
+        "defaults: epicenter tier db, incident at 40%% of the run, "
+        "window min(60s, 20%% of the run)",
+    )
+    p_run.add_argument(
         "--race-check", action="store_true",
         help="run twice (canonical and permuted same-timestamp order) and "
         "fail if any observable diverges; skips the cache and the normal "
@@ -750,6 +859,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault plan of side A (see `run --faults`)")
     p_diff.add_argument("--faults-b", default=None, metavar="PLAN",
                         help="fault plan of side B (see `run --faults`)")
+    p_diff.add_argument("--storyline-a", default=None, metavar="NAME[:...]",
+                        help="storyline of side A (see `run --storyline`)")
+    p_diff.add_argument("--storyline-b", default=None, metavar="NAME[:...]",
+                        help="storyline of side B (see `run --storyline`)")
     p_diff.set_defaults(func=cmd_diff)
 
     p_ctrl = sub.add_parser(
@@ -784,8 +897,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--scale", type=float, default=50.0)
     p_res.add_argument("--duration", type=float, default=300.0)
     p_res.add_argument("--seed", type=int, default=3)
+    p_res.add_argument(
+        "--storylines", nargs="?", const=True, default=False,
+        metavar="NAME,NAME",
+        help="score correlated incident storylines instead of isolated "
+        "fault classes, pairing every storylined run with its "
+        "fault-blind ablation twin (optionally a comma-separated "
+        f"subset of: {', '.join(storyline_names())})",
+    )
     _add_engine_args(p_res)
     p_res.set_defaults(func=cmd_resilience)
+
+    p_trace_cmd = sub.add_parser(
+        "trace", help="decision-trace utilities (export)"
+    )
+    trace_sub = p_trace_cmd.add_subparsers(dest="trace_command", required=True)
+    p_texp = trace_sub.add_parser(
+        "export",
+        help="dump one run's decision trace (cached runs export instantly)",
+    )
+    p_texp.add_argument("framework", choices=registered_frameworks())
+    _add_common_run_args(p_texp)
+    _add_engine_args(p_texp)
+    p_texp.add_argument(
+        "--param", action="append", default=None, metavar="NAME=VALUE",
+        help="controller parameter of the run to export (repeatable)",
+    )
+    p_texp.add_argument("--faults", default=None, metavar="PLAN",
+                        help="fault plan of the run (see `run --faults`)")
+    p_texp.add_argument("--storyline", default=None, metavar="NAME[:...]",
+                        help="storyline of the run (see `run --storyline`)")
+    p_texp.add_argument(
+        "--jsonl", action="store_true",
+        help="line-delimited JSON: a meta header line (spec digest, "
+        "framework, storyline, event count), then one event per line",
+    )
+    p_texp.add_argument("--out", default=None, metavar="PATH",
+                        help="write to this file instead of stdout")
+    p_texp.add_argument(
+        "--noops", action="store_true",
+        help="include explicit no-op ticks in the human-readable form "
+        "(--jsonl always includes every event)",
+    )
+    p_texp.set_defaults(func=cmd_trace_export)
 
     p_sweep = sub.add_parser("sweep", help="concurrency sweep against a tier")
     p_sweep.add_argument("tier", choices=["app", "db"])

@@ -37,6 +37,10 @@ __all__ = [
     "ADVISORY_KINDS",
     "FAULT_KINDS",
     "MODE_KINDS",
+    "SCALEIN_SUSPENDED",
+    "PREWARM_ISSUED",
+    "RECOVERY_SETTLE",
+    "RECOVERY_KINDS",
     "declared_kinds",
 ]
 
@@ -96,6 +100,32 @@ FAULT_KINDS = (
     "scale_out_retry",
 )
 
+#: Recovery-aware control: a controller armed (or enforced) a scale-in
+#: suspension because a crash/provisioning episode is open on the tier,
+#: or a post-recovery settle window is still running (``detail`` is
+#: ``"armed"`` when the episode opens, ``"veto"`` when a scale-in
+#: decision is actually swallowed; ``reason`` names the open episode).
+SCALEIN_SUSPENDED = "scalein_suspended"
+#: Recovery-aware control: a replacement VM launch was issued in direct
+#: response to a ``server_ejected`` event (``detail`` carries the
+#: ejected server, or ``"expedited-retry"`` when a pending provisioning
+#: retry was rescheduled to fire immediately after the fault cleared).
+PREWARM_ISSUED = "prewarm_issued"
+#: Recovery-aware control: a fault episode closed and the controller
+#: opened a settle window (``value`` seconds) during which fresh
+#: telemetry is not trusted for destructive actions.
+RECOVERY_SETTLE = "recovery_settle"
+
+#: Recovery-aware reaction kinds emitted by the shared
+#: :class:`~repro.scaling.faultaware.FaultAwareMixin` base layer (like
+#: :data:`POLICY_KINDS`, these belong to the common decision loop, so
+#: individual controller registrations do not re-declare them).
+RECOVERY_KINDS = (
+    SCALEIN_SUSPENDED,
+    PREWARM_ISSUED,
+    RECOVERY_SETTLE,
+)
+
 #: Simulation-mode switch kinds emitted by the hybrid-mode governor
 #: (:class:`repro.sim.governor.ModeGovernor`): entering the fluid
 #: aggregate integrator, and dropping back to per-request discrete
@@ -122,6 +152,7 @@ def declared_kinds() -> frozenset[str]:
         + HARDWARE_KINDS
         + SOFT_KINDS
         + FAULT_KINDS
+        + RECOVERY_KINDS
         + MODE_KINDS
     )
 

@@ -72,13 +72,22 @@ __all__ = [
 #: ``demand_distribution`` (gamma / lognormal) — the config's canonical
 #: encoding changed, so v5 digests name different content. Default
 #: (discrete, open, gamma) runs remain event-for-event identical to v5.
-SCHEMA_VERSION = 6
+#: v7: fault storylines + recovery-aware control.
+#: :class:`~repro.faults.plan.FaultPlan` grew ``storyline`` (part of the
+#: canonical spec encoding), :class:`~repro.faults.summary.ResilienceSummary`
+#: grew compound-incident metrics (storyline, worst_p99, slo_violation_s,
+#: incident_actions — signature-covered), and registry-built controllers
+#: now feed fault events back into the decision loop (scale-in
+#: suspension, crash pre-warm, settle windows), so faulted runs are
+#: event-for-event different from v6. Fault-free runs are unchanged but
+#: the spec encoding moved, so all v6 digests name different content.
+SCHEMA_VERSION = 7
 
 #: Older artifact schemas that still load (``DecisionTrace`` upgrades
 #: their pickled ``ActionLog`` transparently; pre-fault artifacts read
 #: as fault-free). The result *cache* only accepts the current version;
 #: this set is for explicitly saved artifact files.
-COMPAT_SCHEMAS = frozenset({1, 2, 3, 4, 5, SCHEMA_VERSION})
+COMPAT_SCHEMAS = frozenset({1, 2, 3, 4, 5, 6, SCHEMA_VERSION})
 
 
 def __getattr__(name: str):

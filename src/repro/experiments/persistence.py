@@ -35,6 +35,7 @@ __all__ = [
     "load_summary",
     "save_artifact",
     "load_artifact",
+    "trace_jsonl",
 ]
 
 
@@ -154,6 +155,54 @@ def save_artifact(artifact: RunArtifact, path: str) -> str:
     with open(path, "wb") as fh:
         pickle.dump(artifact, fh, protocol=pickle.HIGHEST_PROTOCOL)
     return path
+
+
+def trace_jsonl(artifact: RunArtifact) -> list[str]:
+    """The run's decision trace as line-delimited JSON records.
+
+    The first line is a meta header (format tag, artifact schema, spec
+    digest, framework, fault plan / storyline, event count); every
+    following line is one :class:`~repro.control.events.DecisionEvent`
+    with its full field set. This is the export format behind ``repro
+    trace export --jsonl`` — a training-data-friendly dump whose header
+    pins exactly which spec produced the episode.
+    """
+    spec = artifact.spec
+    plan = spec.faults
+    lines = [
+        json.dumps(
+            {
+                "format": "repro-trace",
+                "version": 1,
+                "schema": SCHEMA_VERSION,
+                "spec_digest": spec.digest(),
+                "framework": artifact.framework,
+                "faults": plan.describe() if plan is not None else None,
+                "storyline": plan.storyline if plan is not None else None,
+                "events": len(artifact.actions),
+            },
+            sort_keys=True,
+        )
+    ]
+    for event in artifact.actions:
+        lines.append(
+            json.dumps(
+                {
+                    "t": event.time,
+                    "kind": event.kind,
+                    "tier": event.tier,
+                    "value": event.value,
+                    "detail": event.detail,
+                    "source": event.source,
+                    "reason": event.reason,
+                    "estimate": (
+                        None if event.estimate is None else _clean(event.estimate)
+                    ),
+                },
+                sort_keys=True,
+            )
+        )
+    return lines
 
 
 def load_artifact(path: str) -> RunArtifact:

@@ -374,6 +374,8 @@ def execute_spec(spec: RunSpec, *, sim: Simulator | None = None) -> RunArtifact:
             latencies=latencies,
             completion_times=log.completion_times,
             horizon=config.duration + DRAIN_GRACE,
+            storyline=spec.faults.storyline,
+            trace=actions,
         )
 
     return RunArtifact(

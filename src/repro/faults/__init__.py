@@ -19,8 +19,17 @@ from repro.faults.plan import (
     ServerCrashSpec,
     SlowNodeSpec,
     TelemetryDropoutSpec,
+    episode_class,
     parse_fault,
     parse_faults,
+)
+from repro.faults.storyline import (
+    StoryAtom,
+    Storyline,
+    get_storyline,
+    parse_storyline,
+    register_storyline,
+    storyline_names,
 )
 from repro.faults.summary import (
     FaultEpisode,
@@ -38,6 +47,13 @@ __all__ = [
     "ClientTimeoutSpec",
     "parse_fault",
     "parse_faults",
+    "episode_class",
+    "StoryAtom",
+    "Storyline",
+    "register_storyline",
+    "get_storyline",
+    "storyline_names",
+    "parse_storyline",
     "FaultInjector",
     "apply_slowdown",
     "remove_slowdown",

@@ -29,6 +29,7 @@ comma-separated ``kind:...`` atoms, e.g.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Iterator, Union
 
@@ -44,6 +45,7 @@ __all__ = [
     "FaultPlan",
     "parse_fault",
     "parse_faults",
+    "episode_class",
 ]
 
 _TIERS = ("web", "app", "db", "cache")
@@ -259,9 +261,18 @@ class FaultPlan:
     telemetry dropouts on the same tier key and overlapping client
     timeout windows are rejected — their runtime state is a single
     toggle, so overlap would end the earlier window prematurely.
+    Duplicate same-tier crash episodes (same server slot at the same
+    instant) are rejected too: both would select the same victim, and
+    the second crash would find it already dead.
+
+    ``storyline`` names the :class:`~repro.faults.storyline.Storyline`
+    this plan was lowered from, when it was (digest-covered, so a
+    storylined run and a hand-rolled plan with the same atoms stay
+    distinct cache entries).
     """
 
     specs: tuple[FaultSpec, ...] = ()
+    storyline: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.specs, tuple):
@@ -272,6 +283,16 @@ class FaultPlan:
                     f"FaultPlan entries must be fault specs, got "
                     f"{type(spec).__qualname__}"
                 )
+        crashes = [s for s in self.specs if isinstance(s, ServerCrashSpec)]
+        seen: set[tuple[str, float, int]] = set()
+        for c in crashes:
+            key = (c.tier, c.at, c.server_index)
+            if key in seen:
+                raise ExperimentError(
+                    f"overlapping same-tier crash episodes: {c.label} "
+                    "duplicates an earlier crash on the same server slot"
+                )
+            seen.add(key)
         dropouts = [s for s in self.specs if isinstance(s, TelemetryDropoutSpec)]
         for i, a in enumerate(dropouts):
             for b in dropouts[i + 1:]:
@@ -303,6 +324,11 @@ class FaultPlan:
     def describe(self) -> str:
         """Comma-joined labels (reports, progress lines)."""
         return ",".join(s.label for s in self.specs)
+
+    @property
+    def title(self) -> str:
+        """Storyline name when lowered from one, else the atom labels."""
+        return self.storyline if self.storyline else self.describe()
 
     @classmethod
     def parse(cls, text: str) -> "FaultPlan":
@@ -404,3 +430,24 @@ def parse_faults(text: str | None) -> FaultPlan | None:
     if text is None or not text.strip():
         return None
     return FaultPlan.parse(text)
+
+
+# Every spec label starts with its fault class: "slow:", "crash:",
+# "prov:", "dropout:" or "timeout@"; the injector prefixes its bus-event
+# reasons with the label, so the class is recoverable from any
+# fault_injected/fault_recovered DecisionEvent without widening the
+# (signature-covered) event schema.
+_CLASS_RE = re.compile(r"^(slow|crash|prov|dropout):|^(timeout)@")
+
+
+def episode_class(reason: str) -> str | None:
+    """Fault class encoded in a fault event's ``reason``, or None.
+
+    Recovery-aware controllers use this to tell crash/provisioning
+    episodes (which should suspend scale-in) apart from slow-node or
+    dropout windows (which should merely settle after recovery).
+    """
+    m = _CLASS_RE.match(reason)
+    if not m:
+        return None
+    return m.group(1) or m.group(2)

@@ -72,6 +72,7 @@ class Actuator:
         self._drain_polls: dict[str, EventHandle] = {}  # server -> poll
         self._pending_retries: dict[str, int] = {}  # tier -> scheduled retries
         self._retry_attempts: dict[str, int] = {}  # tier -> consecutive failures
+        self._retry_handles: dict[str, list[EventHandle]] = {}  # tier -> polls
         self._bootstrap_vms: set[str] = set()
         self._on_hardware_change: list[Callable[[str, str], None]] = []
 
@@ -142,7 +143,31 @@ class Actuator:
             "scale_out_failed", tier, value=attempt, detail=vm.name,
             reason=f"provisioning failed; retry {attempt} in {backoff:.1f}s",
         )
-        self.sim.schedule_after(backoff, self._retry_scale_out, tier)
+        handle = self.sim.schedule_after(backoff, self._retry_scale_out, tier)
+        self._retry_handles.setdefault(tier, []).append(handle)
+
+    def expedite_retries(self, tier: str) -> int:
+        """Pull a tier's pending provisioning retries forward to *now*.
+
+        Recovery-aware controllers call this when a provisioning fault
+        clears: the exponential backoff that protected the hypervisor
+        during the fault window would otherwise keep the tier
+        under-provisioned for up to ``_RETRY_CAP`` seconds after the
+        hypervisor has already healed. Resets the backoff counter and
+        returns the number of retries rescheduled.
+        """
+        handles = self._retry_handles.get(tier, [])
+        moved = 0
+        fresh: list[EventHandle] = []
+        for handle in handles:
+            if handle.done or handle.cancelled:
+                continue
+            fresh.append(self.sim.reschedule(handle, self.sim.now))
+            moved += 1
+        self._retry_handles[tier] = fresh
+        if moved:
+            self._retry_attempts.pop(tier, None)
+        return moved
 
     def _retry_scale_out(self, tier: str) -> None:
         self._pending_retries[tier] = self._pending_retries.get(tier, 1) - 1

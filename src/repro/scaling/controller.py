@@ -3,10 +3,16 @@
 from __future__ import annotations
 
 from repro.control.bus import ControlBus
-from repro.control.events import NOOP, THRESHOLD_TRIP, DecisionEvent
+from repro.control.events import (
+    NOOP,
+    SCALEIN_SUSPENDED,
+    THRESHOLD_TRIP,
+    DecisionEvent,
+)
 from repro.monitoring.warehouse import MetricWarehouse
 from repro.ntier.app import APP, DB
 from repro.scaling.actuator import Actuator
+from repro.scaling.faultaware import FaultAwareMixin
 from repro.scaling.policy import ThresholdPolicy, TierPolicyConfig
 from repro.sim.engine import PRIORITY_CONTROLLER, Simulator
 from repro.sim.process import PeriodicProcess
@@ -14,7 +20,7 @@ from repro.sim.process import PeriodicProcess
 __all__ = ["BaseController"]
 
 
-class BaseController:
+class BaseController(FaultAwareMixin):
     """Threshold-driven hardware scaling at a 1 s decision tick.
 
     Subclasses implement the soft-resource behaviour by overriding
@@ -26,6 +32,11 @@ class BaseController:
     published as a :class:`~repro.control.events.DecisionEvent` on the
     actuator's control bus, giving all frameworks one uniform, auditable
     decision trace.
+
+    The inherited :class:`~repro.scaling.faultaware.FaultAwareMixin` is
+    dormant unless the registry's build path (or a test) calls
+    :meth:`~repro.scaling.faultaware.FaultAwareMixin.enable_fault_awareness`;
+    when enabled, scale-in decisions consult it before acting.
     """
 
     name = "base"
@@ -96,10 +107,19 @@ class BaseController:
                     self.actuator.scale_out(tier, reason=decision.reason)
                 self.policy.note_action(tier, "out")
             elif decision.action == "in":
-                self.emit(THRESHOLD_TRIP, tier, detail="in",
-                          reason=decision.reason)
-                self.actuator.scale_in(tier, reason=decision.reason)
-                self.policy.note_action(tier, "in")
+                blocked = self.scalein_blocked(tier, now)
+                if blocked is not None:
+                    # The trip is swallowed, not deferred: the policy's
+                    # sustain/cooldown clocks are left untouched so the
+                    # decision re-arrives on the next tick if load stays
+                    # low once the episode clears.
+                    self.emit(SCALEIN_SUSPENDED, tier, detail="veto",
+                              reason=blocked)
+                else:
+                    self.emit(THRESHOLD_TRIP, tier, detail="in",
+                              reason=decision.reason)
+                    self.actuator.scale_in(tier, reason=decision.reason)
+                    self.policy.note_action(tier, "in")
             else:
                 self.emit(NOOP, tier, reason=decision.reason)
         self.periodic_adapt(now)

@@ -68,6 +68,13 @@ class PredictiveAutoScaling(BaseController):
             return 0.0
         t = np.array([s.t_end for s in samples])
         u = np.array([s.cpu for s in samples])
+        finite = np.isfinite(t) & np.isfinite(u)
+        t, u = t[finite], u[finite]
+        # A telemetry blackout can leave every sample in the window on
+        # a single collection tick (one per server): no time spread, a
+        # singular fit. A trend needs at least two distinct instants.
+        if len(t) < 3 or np.ptp(t) <= 0.0:
+            return 0.0
         slope, intercept = np.polyfit(t - t[-1], u, 1)
         return float(max(0.0, intercept + slope * self.lead_time))
 

@@ -42,7 +42,7 @@ qos baselines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.control.events import (
@@ -265,6 +265,11 @@ class ControllerSpec:
                 f"controller factory {self.name!r} returned "
                 f"{type(controller).__qualname__}, not a BaseController"
             )
+        # Recovery-aware control is a property of the *loop*, not of any
+        # one framework: every registered controller gets it unless the
+        # run's params ablate it (`--param fault_aware=false`).
+        if ctx.params.get("fault_aware", True):
+            controller.enable_fault_awareness()
         return controller
 
     def describe(self) -> dict[str, Any]:
@@ -296,6 +301,21 @@ def register_controller(spec: ControllerSpec) -> ControllerSpec:
         raise ConfigurationError(
             f"controller {spec.name!r} is already registered; "
             "unregister_controller() first if replacing it"
+        )
+    if not any(p.name == "fault_aware" for p in spec.params):
+        # Every framework rides the shared FaultAwareMixin; the param is
+        # injected here so each registration does not have to repeat it
+        # and the ablation switch is spelled identically everywhere.
+        spec = replace(
+            spec,
+            params=spec.params + (
+                ParamSpec(
+                    "fault_aware", "bool", True,
+                    help="feed fault-lifecycle bus events back into the "
+                    "decision loop (scale-in suspension, crash pre-warm, "
+                    "post-recovery settle); false = fault-blind ablation",
+                ),
+            ),
         )
     vocabulary = declared_kinds()
     unknown = sorted(set(spec.decision_kinds) - vocabulary)

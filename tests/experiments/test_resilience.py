@@ -21,17 +21,22 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.experiments.artifact import RunSpec, content_digest
+from repro.experiments.artifact import RunOverrides, RunSpec, content_digest
 from repro.experiments.diff import diff_artifacts
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.resilience import (
     RESILIENCE_HEADERS,
+    STORYLINE_HEADERS,
     resilience_fault_plans,
     resilience_rows,
     resilience_scenario,
     resilience_suite,
+    storyline_rows,
+    storyline_suite,
+    storyline_ttr,
 )
 from repro.experiments.runner import execute_spec
+from repro.faults.storyline import storyline_names
 
 
 def small_resilience_config():
@@ -107,8 +112,15 @@ def test_crash_run_diffs_against_fault_free_twin(baseline, crashed):
     kinds = {e.kind for e in crashed.actions.faults()}
     assert {"fault_injected", "server_ejected"} <= kinds
     assert baseline.actions.faults() == []
-    # The surviving replica forces different decisions, not just noise.
-    assert diff.events_a != diff.events_b
+    # The crash forces different *decisions*, not just noise: the
+    # fault-aware loop pre-warms a replacement and suspends scale-in,
+    # none of which the fault-free twin ever emits.
+    crashed_kinds = {e.kind for e in crashed.actions}
+    assert "prewarm_issued" in crashed_kinds
+    assert "scalein_suspended" in crashed_kinds
+    baseline_kinds = {e.kind for e in baseline.actions}
+    assert "prewarm_issued" not in baseline_kinds
+    assert "scalein_suspended" not in baseline_kinds
 
 
 def test_crash_accounting_and_recovery(crashed):
@@ -189,3 +201,149 @@ def test_cli_resilience_subcommand(capsys, tmp_path, monkeypatch):
     assert "crash:db[0]@24" in out
     assert "dropout" in out and "timeout" in out
     assert out.count("ec2") == 6
+
+
+# ----------------------------------------------------------------------
+# the storyline axis: compound incidents, aware vs blind pairs
+# ----------------------------------------------------------------------
+
+def _storyline_trio():
+    """The conscale az-outage trio at test scale: free, aware, blind."""
+    return storyline_suite(
+        load_scale=300.0, duration=60.0, seed=2,
+        frameworks=("conscale",), trace_name="dual_phase",
+        storylines=("az-outage",),
+    )
+
+
+@pytest.fixture(scope="module")
+def story_artifacts():
+    return [execute_spec(spec) for spec in _storyline_trio()]
+
+
+def test_storyline_suite_shape_and_pairing():
+    specs = storyline_suite(duration=60.0)
+    from repro.scaling.registry import registered_frameworks
+
+    n_frameworks = len(registered_frameworks())
+    n_stories = len(storyline_names())
+    assert n_stories >= 4
+    # Per framework: the fault-free twin, then an aware/blind pair per
+    # storyline.
+    assert len(specs) == n_frameworks * (1 + 2 * n_stories)
+    per_fw = specs[: 1 + 2 * n_stories]
+    assert per_fw[0].faults is None
+    for aware, blind in zip(per_fw[1::2], per_fw[2::2]):
+        assert aware.faults == blind.faults  # same lowered incident
+        assert aware.overrides.controller_params is None
+        assert dict(blind.overrides.controller_params) == {
+            "fault_aware": False
+        }
+    assert len({s.digest() for s in specs}) == len(specs)
+
+
+def test_storyline_rows_match_headers(story_artifacts):
+    rows = storyline_rows(story_artifacts)
+    assert all(len(row) == len(STORYLINE_HEADERS) for row in rows)
+    free, aware, blind = rows
+    assert free[1] == "none" and free[2] == "yes"
+    assert aware[1] == "az-outage" and aware[2] == "yes"
+    assert blind[1] == "az-outage" and blind[2] == "no"
+    # The compound columns are populated for the storylined rows.
+    assert aware[6] != "-" and aware[8] > 0
+
+
+def test_storyline_ttr_prefers_the_fault_free_twin(story_artifacts):
+    free, aware, _ = story_artifacts
+    assert np.isnan(storyline_ttr(free))  # no episodes, nothing to score
+    with_twin = storyline_ttr(aware, free)
+    # Either way the capacity-restoration floor is part of the figure.
+    assert np.isnan(with_twin) or with_twin >= aware.resilience.restore_s
+
+
+def test_storylined_twins_diff_and_survive_the_process_backend(
+    story_artifacts,
+):
+    free, aware, blind = story_artifacts
+    diff = diff_artifacts(aware, blind)
+    assert diff.divergence is not None  # awareness changes decisions
+    specs = _storyline_trio()
+    via_pool = ExperimentEngine(jobs=2, use_cache=False).run_many(specs)
+    for serial, pooled in zip(story_artifacts, via_pool):
+        assert pooled.signature() == serial.signature()
+
+
+def test_cli_resilience_storylines(capsys, tmp_path, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    assert main([
+        "resilience", "--frameworks", "conscale", "--trace", "dual_phase",
+        "--scale", "300", "--duration", "60", "--seed", "2",
+        "--storylines", "az-outage",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "az-outage" in out
+    assert "ttr_s" in out and "worst_p99_ms" in out
+    assert "yes" in out and "no" in out
+
+
+def test_cli_resilience_unknown_storyline(capsys):
+    from repro.cli import main
+
+    assert main(["resilience", "--storylines", "meteor-strike"]) == 2
+    err = capsys.readouterr().err
+    assert "meteor-strike" in err and "az-outage" in err
+
+
+def test_cli_run_storyline_reports_recovery_actions(
+    capsys, tmp_path, monkeypatch
+):
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    assert main([
+        "run", "conscale", "--trace", "dual_phase", "--scale", "300",
+        "--duration", "60", "--seed", "2", "--topology", "1,2,2",
+        "--storyline", "az-outage:db:24:12",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "conservation ok" in out
+    assert "recovery actions:" in out
+    assert "scalein_suspended=" in out and "prewarm_issued=" in out
+
+
+def test_cli_faults_and_storyline_mutually_exclusive(capsys):
+    from repro.cli import main
+
+    assert main([
+        "run", "conscale", "--trace", "dual_phase", "--scale", "300",
+        "--duration", "60", "--faults", "crash:db:24",
+        "--storyline", "az-outage",
+    ]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_cli_trace_export_jsonl(capsys, tmp_path, monkeypatch):
+    import json
+
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    assert main([
+        "trace", "export", "conscale", "--trace", "dual_phase",
+        "--scale", "300", "--duration", "60", "--seed", "2",
+        "--topology", "1,2,2",
+        "--storyline", "az-outage:db:24:12", "--jsonl",
+    ]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    header = json.loads(lines[0])
+    assert header["format"] == "repro-trace"
+    assert header["storyline"] == "az-outage"
+    assert header["events"] == len(lines) - 1
+    events = [json.loads(line) for line in lines[1:]]
+    kinds = {e["kind"] for e in events}
+    assert "fault_injected" in kinds and "prewarm_issued" in kinds
+    assert all(
+        a["t"] <= b["t"] for a, b in zip(events, events[1:])
+    )

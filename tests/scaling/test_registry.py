@@ -99,8 +99,9 @@ def test_unknown_param_error_lists_valid_params():
     with pytest.raises(ConfigurationError) as exc:
         conscale.param("gain")
     assert "headroom" in str(exc.value)
-    # ec2 has no params at all; the message says so instead of listing.
-    with pytest.raises(ConfigurationError, match=r"\(none\)"):
+    # ec2 declares no params of its own; only the auto-injected
+    # fault_aware ablation switch shows up in the listing.
+    with pytest.raises(ConfigurationError, match="valid params: fault_aware"):
         get_controller("ec2").param("headroom")
 
 
