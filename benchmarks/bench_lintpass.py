@@ -1,11 +1,16 @@
 """repro-lint throughput: the gate must be cheap enough to run always.
 
 A determinism linter only holds the line if it sits in CI and
-pre-commit hooks without anyone noticing it; the budget here is a full
-parse + all six rules over the entire ``repro`` package in under five
-seconds. Also checks the pass is doing real work (every source file
-parsed, every rule loaded) so a silently-skipping linter cannot pass on
-speed alone.
+pre-commit hooks without anyone noticing it. Two budgets:
+
+* the shallow pass (parse + six per-file rules) over the entire
+  ``repro`` package in under five seconds;
+* the deep pass (call graph, dataflow index, and the four
+  interprocedural analyses on top) in under twenty.
+
+Both benchmarks also check the pass is doing real work (every source
+file parsed, every expected rule loaded) so a silently-skipping linter
+cannot pass on speed alone.
 """
 
 import os
@@ -14,29 +19,61 @@ from benchmarks.conftest import run_once
 from repro.lintpass import all_rules, run_lint
 
 MAX_SECONDS = 5.0
+MAX_DEEP_SECONDS = 20.0
 
 
-def test_full_package_lint_under_budget(benchmark):
+def _package_dir() -> str:
     import repro
 
-    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
-    report = run_once(benchmark, run_lint, [package_dir])
+    return os.path.dirname(os.path.abspath(repro.__file__))
 
-    stats = benchmark.stats.stats
-    seconds = stats.max
-    source_files = sum(
+
+def _source_file_count(package_dir: str) -> int:
+    return sum(
         1
         for _, _, names in os.walk(package_dir)
         for n in names
         if n.endswith(".py")
     )
+
+
+def test_full_package_lint_under_budget(benchmark):
+    package_dir = _package_dir()
+    report = run_once(benchmark, run_lint, [package_dir])
+
+    seconds = benchmark.stats.stats.max
     print()
     print(
         f"linted {report.files_checked} files with {len(all_rules())} rules "
         f"in {seconds:.2f}s"
     )
-    assert report.files_checked == source_files
+    assert report.files_checked == _source_file_count(package_dir)
     assert report.clean, "\n".join(v.render() for v in report.violations)
     assert seconds < MAX_SECONDS, (
         f"full-package lint took {seconds:.2f}s (budget {MAX_SECONDS:.0f}s)"
+    )
+
+
+def test_full_package_deep_lint_under_budget(benchmark):
+    package_dir = _package_dir()
+    report = run_once(benchmark, run_lint, [package_dir], deep=True)
+
+    seconds = benchmark.stats.stats.max
+    print()
+    print(
+        f"deep-linted {report.files_checked} files with "
+        f"{len(report.rules_run)} rules in {seconds:.2f}s"
+    )
+    assert report.files_checked == _source_file_count(package_dir)
+    assert report.deep
+    # The interprocedural layer actually ran: every deep rule selected,
+    # and the digested-spec schema got fingerprinted.
+    assert {"deep-digest-provenance", "deep-bus-vocabulary",
+            "deep-priority-layers", "deep-frozen-flow"} <= set(
+        report.rules_run
+    )
+    assert report.schema_fingerprint is not None
+    assert report.clean, "\n".join(v.render() for v in report.violations)
+    assert seconds < MAX_DEEP_SECONDS, (
+        f"deep lint took {seconds:.2f}s (budget {MAX_DEEP_SECONDS:.0f}s)"
     )

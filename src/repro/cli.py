@@ -720,11 +720,40 @@ def cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Sentinel for a bare ``--rules`` (list the registry instead of linting).
+_LIST_RULES = "@list"
+
+
+def _list_rules() -> int:
+    """Render the rule registry (``repro lint --rules`` with no ids)."""
+    from repro.lintpass import all_rules
+
+    rows = []
+    for rule_id, cls in sorted(all_rules().items()):
+        rows.append((
+            rule_id,
+            "yes" if cls.deep else "",
+            cls.supersedes or "",
+            cls.summary,
+        ))
+    print(format_table(["rule", "deep", "supersedes", "summary"], rows))
+    print("\nselect with --rules ID,ID; deselect with --rules -ID; "
+          "deep rules run under --deep")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the repro-lint static-analysis pass (see repro.lintpass)."""
     from repro.lintpass import run_lint
+    from repro.lintpass.baseline import (
+        compare_baseline,
+        load_baseline,
+        write_baseline,
+    )
     from repro.lintpass.report import render_json, render_text
 
+    if args.rules == _LIST_RULES:
+        return _list_rules()
     if args.paths:
         paths = args.paths
     else:
@@ -737,14 +766,23 @@ def cmd_lint(args: argparse.Namespace) -> int:
         if args.rules
         else None
     )
-    report = run_lint(paths, rules=rules)
+    report = run_lint(paths, rules=rules, deep=args.deep)
+    delta = None
+    if args.update_baseline:
+        write_baseline(args.update_baseline, report)
+        print(f"baseline written: {args.update_baseline}", file=sys.stderr)
+    elif args.baseline:
+        delta = compare_baseline(report, load_baseline(args.baseline))
     if args.json:
-        print(render_json(report.violations, report.files_checked,
-                          report.roots))
+        print(render_json(report, delta))
     else:
-        print(render_text(report.violations, report.files_checked))
+        print(render_text(report, delta))
         if report.suppressed:
             print(f"({len(report.suppressed)} suppressed)")
+    if args.update_baseline:
+        return 0  # the recorded findings are the new accepted backlog
+    if delta is not None:
+        return 0 if delta.gate_passed else 1
     return 0 if report.clean else 1
 
 
@@ -1002,8 +1040,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--json", action="store_true",
                         help="machine-readable JSON report on stdout")
     p_lint.add_argument(
-        "--rules", default=None, metavar="ID,ID",
-        help="comma-separated subset of rule ids (default: all)",
+        "--rules", nargs="?", const=_LIST_RULES, default=None,
+        metavar="ID,ID",
+        help="comma-separated rule ids to run (--rules=-ID deselects; "
+        "attach with '=' so the dash is not read as a flag); with no "
+        "value, list every rule with its deep/supersedes columns",
+    )
+    p_lint.add_argument(
+        "--deep", action="store_true",
+        help="enable the whole-program interprocedural analyses "
+        "(digest provenance, bus vocabulary, priority layers, frozen "
+        "flow)",
+    )
+    p_lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="burn-down gate: exit non-zero only on findings not in "
+        "this baseline file (see results/lint-baseline.json)",
+    )
+    p_lint.add_argument(
+        "--update-baseline", default=None, metavar="FILE",
+        help="write the current findings as the new baseline and exit 0",
     )
     p_lint.set_defaults(func=cmd_lint)
 

@@ -10,6 +10,7 @@ and the suppression validator read.
 
 from __future__ import annotations
 
+import ast
 import re
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator
@@ -25,6 +26,7 @@ __all__ = [
     "register",
     "all_rules",
     "parse_suppressions",
+    "expand_suppressions",
     "SUPPRESS_ALL",
 ]
 
@@ -61,6 +63,13 @@ class Rule:
 
     id: str = ""
     summary: str = ""
+    #: Deep rules need the whole-program layer (call graph, dataflow)
+    #: and only run under ``repro lint --deep``.
+    deep: bool = False
+    #: Rule id this one subsumes: when both are selected in a deep run,
+    #: the superseded (shallow) rule is dropped so the interprocedural
+    #: analysis — strictly more precise — is the only reporter.
+    supersedes: str | None = None
 
     def check(self, index: "ProjectIndex") -> Iterator[Violation]:
         raise NotImplementedError
@@ -88,6 +97,10 @@ def all_rules() -> dict[str, type[Rule]]:
     the rule modules populates this)."""
     # Importing the rule modules here keeps `all_rules()` complete even
     # when a caller imports base directly.
+    from repro.lintpass import rules_deep_digest  # noqa: F401
+    from repro.lintpass import rules_deep_events  # noqa: F401
+    from repro.lintpass import rules_deep_frozen  # noqa: F401
+    from repro.lintpass import rules_deep_priority  # noqa: F401
     from repro.lintpass import rules_digest  # noqa: F401
     from repro.lintpass import rules_events  # noqa: F401
     from repro.lintpass import rules_order  # noqa: F401
@@ -120,3 +133,37 @@ def parse_suppressions(lines: Iterable[str]) -> dict[int, frozenset[str]]:
             )
         out[lineno] = parsed
     return out
+
+
+def expand_suppressions(
+    tree: ast.Module, suppressed: dict[int, frozenset[str]]
+) -> dict[int, frozenset[str]]:
+    """Extend suppression comments to the full span of their statement.
+
+    A violation is reported at the *first* line of its node, but a
+    multi-line call naturally carries its ``repro-lint: ignore``
+    comment on whichever physical line holds the offending argument or
+    the closing paren. Map each suppression onto the innermost statement
+    whose line span contains it, covering every line of that span, so
+    the comment silences the finding wherever it is anchored.
+    """
+    if not suppressed:
+        return suppressed
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt) and node.end_lineno is not None:
+            spans.append((node.lineno, node.end_lineno))
+    expanded: dict[int, set[str]] = {
+        line: set(ids) for line, ids in suppressed.items()
+    }
+    for line, ids in suppressed.items():
+        containing = [
+            span for span in spans if span[0] <= line <= span[1] and span[0] != span[1]
+        ]
+        if not containing:
+            continue
+        # Innermost statement: the narrowest containing span.
+        start, end = min(containing, key=lambda span: span[1] - span[0])
+        for covered in range(start, end + 1):
+            expanded.setdefault(covered, set()).update(ids)
+    return {line: frozenset(ids) for line, ids in expanded.items()}

@@ -1,0 +1,174 @@
+"""Findings baseline with burn-down semantics.
+
+A deep analysis dropped onto nine PRs of history surfaces pre-existing
+findings that are real but not this change's fault. The baseline file
+(``results/lint-baseline.json``) records them so CI gates on *growth*,
+not existence: a finding already in the baseline passes, a new finding
+(or a count increase for an existing one) fails, and a finding that
+disappears simply burns down — re-running ``--update-baseline`` shrinks
+the file and the ratchet tightens.
+
+Findings are keyed **line-independently** as ``rule|path|message``
+(with the path normalised to its last ``repro`` component) so that
+unrelated edits shifting line numbers do not churn the baseline; equal
+findings are disambiguated only by count.
+
+The baseline also pins the **schema fingerprint** of the digested-spec
+closure next to the ``SCHEMA_VERSION`` it was recorded at: a fingerprint
+change without a version bump means the field set of some digested
+dataclass changed while old cache entries still claim the same schema —
+the exact drift the digest contract exists to prevent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import LintError
+from repro.lintpass.base import Violation
+from repro.lintpass.run import LintReport
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineDelta",
+    "finding_key",
+    "stable_path",
+    "load_baseline",
+    "baseline_payload",
+    "write_baseline",
+    "compare_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def stable_path(path: str) -> str:
+    """Path normalised from its last ``repro`` component.
+
+    ``/ci/checkout/src/repro/sim/engine.py`` and
+    ``src/repro/sim/engine.py`` key identically, so a baseline recorded
+    in one checkout gates any other.
+    """
+    parts = os.path.normpath(path).replace(os.sep, "/").split("/")
+    for position in range(len(parts) - 1, -1, -1):
+        if parts[position] == "repro":
+            return "/".join(parts[position:])
+    return parts[-1]
+
+
+def finding_key(violation: Violation) -> str:
+    """Line-independent identity of one finding."""
+    return "|".join(
+        (violation.rule, stable_path(violation.path), violation.message)
+    )
+
+
+@dataclass(frozen=True)
+class BaselineDelta:
+    """Outcome of comparing a report against a recorded baseline."""
+
+    #: findings absent from the baseline (or beyond its count) — gate.
+    new: tuple[Violation, ...] = ()
+    #: findings matched by the baseline (burn-down backlog still open).
+    matched: int = 0
+    #: baseline entries no longer reproduced — eligible for burn-down.
+    retired: int = 0
+    #: schema fingerprint changed without a SCHEMA_VERSION bump.
+    schema_note: str | None = None
+    #: keys of the new findings, for rendering.
+    new_keys: tuple[str, ...] = field(default=())
+
+    @property
+    def gate_passed(self) -> bool:
+        return not self.new and self.schema_note is None
+
+
+def baseline_payload(report: LintReport) -> dict[str, object]:
+    """The JSON structure a baseline file records for a report."""
+    counts: dict[str, int] = {}
+    for violation in report.violations:
+        key = finding_key(violation)
+        counts[key] = counts.get(key, 0) + 1
+    payload: dict[str, object] = {
+        "version": BASELINE_VERSION,
+        "findings": dict(sorted(counts.items())),
+    }
+    if report.schema_fingerprint is not None:
+        payload["schema_fingerprint"] = report.schema_fingerprint
+        payload["schema_version"] = report.schema_version
+    return payload
+
+
+def write_baseline(path: str, report: LintReport) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baseline_payload(report), fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> dict[str, object]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise LintError(f"baseline {path!r} is not JSON: {exc}") from exc
+    if not isinstance(data, dict) or "findings" not in data:
+        raise LintError(f"baseline {path!r} has no 'findings' map")
+    return data
+
+
+def compare_baseline(
+    report: LintReport, baseline: dict[str, object]
+) -> BaselineDelta:
+    """Burn-down comparison: new findings gate, matched ones pass."""
+    recorded = baseline.get("findings")
+    if not isinstance(recorded, dict):
+        raise LintError("baseline 'findings' is not a map")
+    budget = {str(k): int(v) for k, v in recorded.items()}
+    new: list[Violation] = []
+    new_keys: list[str] = []
+    matched = 0
+    for violation in report.violations:
+        key = finding_key(violation)
+        remaining = budget.get(key, 0)
+        if remaining > 0:
+            budget[key] = remaining - 1
+            matched += 1
+        else:
+            new.append(violation)
+            new_keys.append(key)
+    retired = sum(1 for count in budget.values() if count > 0)
+    schema_note = _schema_note(report, baseline)
+    return BaselineDelta(
+        new=tuple(new),
+        matched=matched,
+        retired=retired,
+        schema_note=schema_note,
+        new_keys=tuple(new_keys),
+    )
+
+
+def _schema_note(
+    report: LintReport, baseline: dict[str, object]
+) -> str | None:
+    recorded_fp = baseline.get("schema_fingerprint")
+    recorded_version = baseline.get("schema_version")
+    if (
+        report.schema_fingerprint is None
+        or not isinstance(recorded_fp, str)
+    ):
+        return None
+    if report.schema_fingerprint == recorded_fp:
+        return None
+    if report.schema_version != recorded_version:
+        return None  # fingerprint moved *with* a version bump: legal
+    return (
+        "digested-spec field set changed (schema fingerprint "
+        f"{recorded_fp[:12]} -> {report.schema_fingerprint[:12]}) without "
+        f"a SCHEMA_VERSION bump (still {report.schema_version}); bump "
+        "SCHEMA_VERSION in repro/experiments/artifact.py and re-record "
+        "the baseline"
+    )

@@ -1,0 +1,263 @@
+"""Deep digest provenance: fields, helpers, CLI flags, schema bumps.
+
+The shallow ``digest-coverage`` rule demands every field of a digested
+dataclass appear *textually* in its digest method — which both misses
+helper indirection and false-positives on it. This analysis follows
+``self``-method calls through the class chain, so a digest method that
+delegates to ``self._digest_parts()`` is credited with every field the
+helper touches, and a field reached by *no* path from the digest is a
+real finding (the deep rule therefore supersedes the shallow one).
+
+Two companion checks ride the same closure:
+
+* **dead CLI flags** — an ``add_argument`` destination whose value is
+  never read anywhere in the tree cannot possibly reach a digested
+  field, so the flag silently changes nothing a cache key sees;
+* **schema snapshot** — :func:`schema_snapshot` fingerprints the
+  field sets of every frozen dataclass reachable from ``RunSpec``.
+  The baseline comparison (see :mod:`repro.lintpass.baseline`) flags a
+  fingerprint change without a ``SCHEMA_VERSION`` bump.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from typing import Iterator
+
+from repro.lintpass.base import Rule, Violation, register
+from repro.lintpass.project import ClassInfo, ProjectIndex, SourceFile
+from repro.lintpass.rules_digest import (
+    _DIGEST_METHODS,
+    _passes_whole_self,
+    _self_attrs,
+)
+
+__all__ = ["DeepDigestProvenanceRule", "schema_snapshot"]
+
+#: Traversal bound for helper-method chains under a digest method.
+_MAX_HELPER_DEPTH = 6
+
+#: The root of the digested-spec closure for schema fingerprinting.
+_SCHEMA_ROOT = "RunSpec"
+
+#: Module holding the schema version constant.
+_SCHEMA_MODULE = "repro.experiments.artifact"
+
+
+def _self_calls(method: ast.FunctionDef) -> set[str]:
+    """Names of methods the body invokes on ``self``."""
+    calls: set[str] = set()
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            calls.add(node.func.attr)
+    return calls
+
+
+def _transitive_coverage(
+    index: ProjectIndex, info: ClassInfo, method: ast.FunctionDef
+) -> tuple[set[str], bool]:
+    """(self-attributes reachable from ``method``, whole-self seen).
+
+    Follows ``self.helper()`` calls through the class chain so fields
+    covered only inside helpers still count as digested.
+    """
+    covered: set[str] = set()
+    visited: set[str] = set()
+    queue: list[tuple[ast.FunctionDef, int]] = [(method, _MAX_HELPER_DEPTH)]
+    whole_self = False
+    while queue:
+        current, depth = queue.pop()
+        if current.name in visited:
+            continue
+        visited.add(current.name)
+        if _passes_whole_self(current):
+            whole_self = True
+        covered |= _self_attrs(current)
+        if depth <= 0:
+            continue
+        for callee_name in sorted(_self_calls(current)):
+            callee = index.resolve_method(info, (callee_name,))
+            if callee is not None:
+                queue.append((callee, depth - 1))
+    return covered, whole_self
+
+
+@register
+class DeepDigestProvenanceRule(Rule):
+    """Digest coverage through helper methods, plus dead CLI flags."""
+
+    id = "deep-digest-provenance"
+    summary = ("digested-dataclass field unreachable from its digest "
+               "method (helper chains followed); dead CLI flags")
+    deep = True
+    supersedes = "digest-coverage"
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        for infos in index.classes.values():
+            for info in infos:
+                if info.is_dataclass:
+                    yield from self._check_class(index, info)
+        yield from self._check_cli_flags(index)
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self, index: ProjectIndex, info: ClassInfo
+    ) -> Iterator[Violation]:
+        method = index.resolve_method(info, _DIGEST_METHODS)
+        if method is None:
+            return
+        covered, whole_self = _transitive_coverage(index, info, method)
+        if whole_self:
+            return  # canonical()/fields(self) covers everything
+        missing = [
+            f for f in index.all_fields(info)
+            if f not in covered and not f.startswith("_")
+        ]
+        if not missing:
+            return
+        own = method.name in info.methods
+        where = (
+            f"its {method.name}()" if own
+            else f"the inherited {method.name}()"
+        )
+        yield self.violation(
+            info.file.path, info.node.lineno, info.node.col_offset,
+            f"dataclass {info.name!r}: field(s) {', '.join(missing)} are "
+            f"unreachable from {where} even through helper methods; the "
+            "digest aliases specs that differ in them",
+        )
+
+    # ------------------------------------------------------------------
+    def _check_cli_flags(self, index: ProjectIndex) -> Iterator[Violation]:
+        attribute_reads: set[str] = set()
+        string_uses: set[str] = set()
+        for file in index.files:
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.Attribute) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    attribute_reads.add(node.attr)
+                elif isinstance(node, ast.Constant) and isinstance(
+                    node.value, str
+                ):
+                    string_uses.add(node.value)
+        for file in index.files:
+            for node in ast.walk(file.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "add_argument"
+                ):
+                    continue
+                dest = _argument_dest(node)
+                if dest is None:
+                    continue
+                flag, name = dest
+                if name in attribute_reads or name in string_uses:
+                    continue
+                yield self.violation(
+                    file.path, node.lineno, node.col_offset,
+                    f"CLI option {flag!r} (dest {name!r}) is parsed but "
+                    "its value is never read anywhere, so it can never "
+                    "reach a digested spec field; remove it or wire it "
+                    "through",
+                )
+
+
+def _argument_dest(call: ast.Call) -> tuple[str, str] | None:
+    """(display flag, destination name) of an add_argument call."""
+    explicit: str | None = None
+    for keyword in call.keywords:
+        if (
+            keyword.arg == "dest"
+            and isinstance(keyword.value, ast.Constant)
+            and isinstance(keyword.value.value, str)
+        ):
+            explicit = keyword.value.value
+    options = [
+        arg.value
+        for arg in call.args
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+    ]
+    if not options:
+        return None
+    display = options[0]
+    if explicit is not None:
+        return display, explicit
+    longs = [o for o in options if o.startswith("--")]
+    if longs:
+        return longs[0], longs[0][2:].replace("-", "_")
+    if not display.startswith("-"):
+        return display, display.replace("-", "_")
+    return None  # short-only option with no dest: argparse would reject
+
+
+# ----------------------------------------------------------------------
+# schema fingerprint (consumed by the baseline comparison)
+# ----------------------------------------------------------------------
+def _annotation_class_names(annotation: ast.expr) -> Iterator[str]:
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # Forward reference: "RunSpec" / "tuple[FaultPlan, ...]".
+            for token in _identifier_tokens(node.value):
+                yield token
+
+
+def _identifier_tokens(text: str) -> Iterator[str]:
+    token = ""
+    for char in text:
+        if char.isalnum() or char == "_":
+            token += char
+        else:
+            if token:
+                yield token
+            token = ""
+    if token:
+        yield token
+
+
+def schema_snapshot(index: ProjectIndex) -> tuple[str, int | None] | None:
+    """Fingerprint of the digested-spec schema, plus SCHEMA_VERSION.
+
+    The closure starts at ``RunSpec`` and follows field annotations to
+    every frozen dataclass in the tree; the fingerprint hashes the
+    sorted ``(class, field, ...)`` tuples, so it changes exactly when a
+    digest-relevant field set changes. Returns ``None`` when the tree
+    has no ``RunSpec`` (fixture trees, partial lints).
+    """
+    root = index.resolve_class(_SCHEMA_ROOT)
+    if root is None or not root.is_frozen:
+        return None
+    closure: dict[str, ClassInfo] = {}
+    queue = [root]
+    while queue:
+        info = queue.pop()
+        if info.name in closure:
+            continue
+        closure[info.name] = info
+        for _, annotation in info.field_annotations:
+            for name in _annotation_class_names(annotation):
+                candidate = index.resolve_class(name)
+                if (
+                    candidate is not None
+                    and candidate.is_dataclass
+                    and candidate.is_frozen
+                    and candidate.name not in closure
+                ):
+                    queue.append(candidate)
+    shape = sorted(
+        (name, index.all_fields(info)) for name, info in closure.items()
+    )
+    digest = hashlib.sha256(repr(shape).encode("utf-8")).hexdigest()
+    version = index.module_constants(_SCHEMA_MODULE).get("SCHEMA_VERSION")
+    return digest, version if isinstance(version, int) else None

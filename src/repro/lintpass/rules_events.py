@@ -33,6 +33,11 @@ def _declared_kinds(file: SourceFile) -> set[str]:
     for node in file.tree.body:
         if not isinstance(node, ast.Assign):
             continue
+        if any(
+            isinstance(t, ast.Name) and t.id.startswith("__")
+            for t in node.targets
+        ):
+            continue  # __all__ and friends list names, not kinds
         value = node.value
         if isinstance(value, ast.Constant) and isinstance(value.value, str):
             kinds.add(value.value)

@@ -6,10 +6,10 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import LintError
-from repro.lintpass.base import SUPPRESS_ALL, Violation, all_rules
+from repro.lintpass.base import SUPPRESS_ALL, Rule, Violation, all_rules
 from repro.lintpass.project import ProjectIndex
 
-__all__ = ["LintReport", "run_lint"]
+__all__ = ["LintReport", "run_lint", "select_rules"]
 
 
 @dataclass(frozen=True)
@@ -21,6 +21,13 @@ class LintReport:
     violations: tuple[Violation, ...]
     #: violations silenced by per-line ignore comments
     suppressed: tuple[Violation, ...]
+    #: rule ids that actually ran, after deep selection and supersedes
+    rules_run: tuple[str, ...] = ()
+    #: whether the whole-program (deep) layer was enabled
+    deep: bool = False
+    #: digested-spec schema snapshot (deep runs over trees with RunSpec)
+    schema_fingerprint: str | None = None
+    schema_version: int | None = None
 
     @property
     def clean(self) -> bool:
@@ -39,27 +46,61 @@ def _validate_suppressions(index: ProjectIndex, known: Iterable[str]) -> None:
                 )
 
 
-def run_lint(
-    paths: Sequence[str], rules: Sequence[str] | None = None
-) -> LintReport:
-    """Lint every ``.py`` file under ``paths``.
+def select_rules(
+    registry: dict[str, type[Rule]],
+    rules: Sequence[str] | None,
+    deep: bool,
+) -> list[str]:
+    """Resolve the rule selection for one run.
 
-    ``rules`` selects a subset by id (default: all registered rules);
-    an unknown id raises :class:`~repro.errors.LintError`. Suppression
-    comments are validated against the *full* registry even when only a
-    subset runs, so a typoed slug never silently suppresses nothing.
+    The base set is every shallow rule, plus every deep rule when
+    ``deep`` is on. ``rules`` modifies it: plain ids replace the base
+    set outright (naming a deep rule implies running it), while
+    ``-id`` entries subtract from the base set. After selection, a
+    deep rule that supersedes a selected shallow rule drops the shallow
+    one — the interprocedural analysis is strictly more precise, and
+    double-reporting the same defect would poison baseline counts.
     """
-    registry = all_rules()
-    if rules is None:
-        selected = sorted(registry)
-    else:
-        unknown = sorted(set(rules) - set(registry))
+    base = {
+        rule_id
+        for rule_id, cls in registry.items()
+        if deep or not cls.deep
+    }
+    if rules:
+        positive = [r for r in rules if not r.startswith("-")]
+        negative = [r[1:] for r in rules if r.startswith("-")]
+        unknown = sorted((set(positive) | set(negative)) - set(registry))
         if unknown:
             raise LintError(
                 f"unknown rule id(s): {', '.join(unknown)} "
                 f"(known: {', '.join(sorted(registry))})"
             )
-        selected = sorted(set(rules))
+        selected = set(positive) if positive else set(base)
+        selected -= set(negative)
+    else:
+        selected = set(base)
+    for rule_id in sorted(selected):
+        superseded = registry[rule_id].supersedes
+        if superseded and superseded in selected:
+            selected.discard(superseded)
+    return sorted(selected)
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Sequence[str] | None = None,
+    deep: bool = False,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths``.
+
+    ``rules`` selects a subset by id (default: every shallow rule, plus
+    the deep analyses when ``deep`` is on; ``-id`` deselects). An
+    unknown id raises :class:`~repro.errors.LintError`. Suppression
+    comments are validated against the *full* registry even when only a
+    subset runs, so a typoed slug never silently suppresses nothing.
+    """
+    registry = all_rules()
+    selected = select_rules(registry, rules, deep)
     index = ProjectIndex.build(list(paths))
     _validate_suppressions(index, registry)
     by_path = {file.path: file for file in index.files}
@@ -69,13 +110,30 @@ def run_lint(
         rule = registry[rule_id]()
         for violation in rule.check(index):
             file = by_path[violation.path]
-            if file.is_suppressed(violation.line, violation.rule):
+            silenced = file.is_suppressed(violation.line, violation.rule)
+            if not silenced and rule.supersedes:
+                # A suppression written against the superseded shallow
+                # rule keeps silencing the deep rule that replaced it.
+                silenced = file.is_suppressed(violation.line, rule.supersedes)
+            if silenced:
                 suppressed.append(violation)
             else:
                 active.append(violation)
+    fingerprint: str | None = None
+    version: int | None = None
+    if deep:
+        from repro.lintpass.rules_deep_digest import schema_snapshot
+
+        snapshot = schema_snapshot(index)
+        if snapshot is not None:
+            fingerprint, version = snapshot
     return LintReport(
         roots=tuple(paths),
         files_checked=len(index.files),
         violations=tuple(sorted(active)),
         suppressed=tuple(sorted(suppressed)),
+        rules_run=tuple(selected),
+        deep=deep,
+        schema_fingerprint=fingerprint,
+        schema_version=version,
     )

@@ -225,7 +225,7 @@ class Actuator:
             "scale_up_started", tier, value=int(new_vcpus), detail=server.name,
         )
 
-        def _apply(_vm) -> None:
+        def _apply(_vm: VM) -> None:
             if server.name not in self._vm_by_server:
                 # The server was drained and retired while the resize
                 # was in flight; nothing is left to reconfigure.

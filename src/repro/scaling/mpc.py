@@ -35,7 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.control.events import FORECAST, MPC_CORRECTION, STALE_HOLD
-from repro.monitoring.warehouse import MetricWarehouse
+from repro.monitoring.warehouse import MetricWarehouse, VmSample
 from repro.ntier.app import APP, DB
 from repro.qnet.mva import MvaResult, solve_mva
 from repro.qnet.network import station_from_capacity
@@ -161,7 +161,9 @@ class MPCHybridController(PredictiveAutoScaling):
     # ------------------------------------------------------------------
     # model inputs from telemetry
     # ------------------------------------------------------------------
-    def _estimated_demand(self, tier: str, samples) -> float | None:
+    def _estimated_demand(
+        self, tier: str, samples: list[VmSample]
+    ) -> float | None:
         """Per-request service demand via the utilisation law.
 
         Warehouse CPU is the busy fraction of the server's primary
@@ -180,7 +182,9 @@ class MPCHybridController(PredictiveAutoScaling):
         primary = capacity.resources[0]
         return (total_cpu / total_tp) * primary.saturation_concurrency
 
-    def _forecast_throughput(self, tier: str, samples) -> float | None:
+    def _forecast_throughput(
+        self, tier: str, samples: list[VmSample]
+    ) -> float | None:
         """Tier-total throughput forecast one correction horizon ahead.
 
         The per-server samples of each warehouse tick are summed into a

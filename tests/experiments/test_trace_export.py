@@ -1,0 +1,115 @@
+"""``repro trace export --jsonl``: the episode dump must round-trip.
+
+The JSONL export is the training-data path out of the simulator: a
+meta header pinning the producing spec, then one line per
+:class:`~repro.control.events.DecisionEvent`. These tests parse the
+dump back into a :class:`~repro.control.trace.DecisionTrace` and
+require it equal to the artifact's trace, on a storylined run — the
+richest event mix (faults, recovery actions, policy holds) the control
+plane produces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.control.events import DecisionEvent
+from repro.control.trace import DecisionTrace
+from repro.experiments.artifact import SCHEMA_VERSION
+from repro.experiments.persistence import trace_jsonl
+from repro.experiments.resilience import storyline_suite
+from repro.experiments.runner import execute_spec
+
+
+def storylined_spec():
+    """The recovery-aware az-outage spec at test_engine's reduced scale."""
+    specs = storyline_suite(
+        load_scale=300.0, duration=60.0, seed=2,
+        frameworks=("conscale",), trace_name="dual_phase",
+        storylines=("az-outage",),
+    )
+    aware = [
+        s for s in specs
+        if s.faults is not None
+        and s.overrides.controller_params in (None, ())
+    ]
+    assert len(aware) == 1, [s.label for s in specs]
+    return aware[0]
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return execute_spec(storylined_spec())
+
+
+def parse_jsonl(lines: list[str]) -> tuple[dict, DecisionTrace]:
+    header = json.loads(lines[0])
+    events = [
+        DecisionEvent(
+            time=record["t"], kind=record["kind"], tier=record["tier"],
+            value=record["value"], detail=record["detail"],
+            source=record["source"], reason=record["reason"],
+            estimate=record["estimate"],
+        )
+        for record in map(json.loads, lines[1:])
+    ]
+    return header, DecisionTrace(events)
+
+
+def test_header_pins_the_producing_spec(artifact):
+    header, _ = parse_jsonl(trace_jsonl(artifact))
+    spec = artifact.spec
+    assert header["format"] == "repro-trace"
+    assert header["version"] == 1
+    assert header["schema"] == SCHEMA_VERSION
+    assert header["spec_digest"] == spec.digest()
+    assert header["framework"] == "conscale"
+    assert header["storyline"] == spec.faults.storyline
+    assert header["faults"] == spec.faults.describe()
+    assert header["events"] == len(artifact.actions.all())
+
+
+def test_event_lines_round_trip_into_an_equal_trace(artifact):
+    lines = trace_jsonl(artifact)
+    _, rebuilt = parse_jsonl(lines)
+    original = artifact.actions.all()
+    assert len(lines) - 1 == len(original)
+    assert rebuilt.all() == original
+    # The storylined run actually exercised the interesting kinds: the
+    # round-trip must carry fault-recovery events, not just no-ops.
+    kinds = {event.kind for event in rebuilt.all()}
+    assert "scalein_suspended" in kinds, sorted(kinds)
+
+
+def test_cli_jsonl_export_is_deterministic_and_cache_served(
+    tmp_path, monkeypatch, capsys
+):
+    monkeypatch.chdir(tmp_path)
+    argv = [
+        "trace", "export", "conscale",
+        "--trace", "dual_phase", "--scale", "300",
+        "--duration", "60", "--seed", "2",
+        "--topology", "1,2,2", "--storyline", "az-outage",
+        "--jsonl",
+    ]
+    out_a = tmp_path / "episodes" / "first.jsonl"
+    out_b = tmp_path / "episodes" / "second.jsonl"
+    assert main([*argv, "--out", str(out_a)]) == 0
+    captured = capsys.readouterr()
+    assert "events written to" in captured.err
+    # Second export is served from the run cache and must be
+    # byte-identical — the digest in the header is the cache key.
+    assert main([*argv, "--out", str(out_b)]) == 0
+    capsys.readouterr()
+    assert out_a.read_bytes() == out_b.read_bytes()
+    lines = out_a.read_text().splitlines()
+    header, rebuilt = parse_jsonl(lines)
+    assert header["format"] == "repro-trace"
+    assert header["schema"] == SCHEMA_VERSION
+    assert header["storyline"] == "az-outage"
+    assert header["events"] == len(lines) - 1 == len(rebuilt.all())
+    kinds = {event.kind for event in rebuilt.all()}
+    assert "scalein_suspended" in kinds, sorted(kinds)

@@ -1,0 +1,15 @@
+"""Fixture CLI: one wired flag, one parsed-but-never-read flag."""
+
+import argparse
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--dead-knob", type=int, default=0)
+    return parser
+
+
+def run(argv: list) -> float:
+    args = build_parser().parse_args(argv)
+    return args.scale

@@ -1,0 +1,19 @@
+"""Fixture spec: digest delegates to a helper; one field escapes both."""
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HelperSpec:
+    name: str
+    scale: float
+    seed: int
+
+    def _digest_parts(self) -> tuple:
+        # Covers name and scale -- but never seed.
+        return (self.name, self.scale)
+
+    def digest(self) -> str:
+        payload = repr(self._digest_parts()).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()

@@ -1,0 +1,19 @@
+"""Fixture vocabulary: one dead kind, one ghost kind, two live ones."""
+
+from dataclasses import dataclass
+
+__all__ = ["DecisionEvent", "THRESHOLD_TRIP", "SCALE_OUT", "DEAD_KIND",
+           "GHOST_KIND"]
+
+THRESHOLD_TRIP = "threshold_trip"
+SCALE_OUT = "scale_out"
+#: declared, never emitted, never consumed -> dead-vocabulary finding.
+DEAD_KIND = "dead_kind"
+#: declared and consumed by a handler, but no publisher emits it.
+GHOST_KIND = "ghost_kind"
+
+
+@dataclass(frozen=True)
+class DecisionEvent:
+    time: float
+    kind: str

@@ -1,0 +1,16 @@
+"""Fixture subscriber: one live branch, one publisher-less branch."""
+
+from repro.control.events import GHOST_KIND, THRESHOLD_TRIP, DecisionEvent
+
+
+class Listener:
+    def __init__(self) -> None:
+        self.trips = 0
+        self.ghosts = 0
+
+    def on_decision(self, event: DecisionEvent) -> None:
+        if event.kind == THRESHOLD_TRIP:
+            self.trips += 1
+        # No publisher in the tree emits GHOST_KIND: dead branch.
+        elif event.kind == GHOST_KIND:
+            self.ghosts += 1

@@ -1,0 +1,16 @@
+"""Fixture publisher: emits through a helper the shallow rule cannot see."""
+
+from repro.control.events import THRESHOLD_TRIP, DecisionEvent
+
+
+class BusClient:
+    def __init__(self) -> None:
+        self.outbox: list[DecisionEvent] = []
+
+    def _publish(self, kind: str) -> None:
+        self.outbox.append(DecisionEvent(0.0, kind))
+
+    def tick(self) -> None:
+        self._publish(THRESHOLD_TRIP)
+        # Helper-forwarded and undeclared: the deep finding to plant.
+        self._publish("mystery_kind")

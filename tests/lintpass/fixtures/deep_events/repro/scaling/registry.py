@@ -1,0 +1,39 @@
+"""Fixture registry: a spec whose decision_kinds diverge both ways."""
+
+from repro.control.events import SCALE_OUT, DecisionEvent
+
+
+class ControllerSpec:
+    def __init__(self, *, name: str, factory: object,
+                 decision_kinds: tuple[str, ...]) -> None:
+        self.name = name
+        self.factory = factory
+        self.decision_kinds = decision_kinds
+
+
+_SPECS: dict[str, ControllerSpec] = {}
+
+
+def register_controller(spec: ControllerSpec) -> None:
+    _SPECS[spec.name] = spec
+
+
+class DemoController:
+    def __init__(self) -> None:
+        self.bus: list[DecisionEvent] = []
+
+    def step(self) -> None:
+        self.bus.append(DecisionEvent(1.0, SCALE_OUT))
+
+
+def _build_demo() -> DemoController:
+    return DemoController()
+
+
+register_controller(ControllerSpec(
+    name="demo",
+    factory=_build_demo,
+    # Emits scale_out (undeclared here) and never emits threshold_trip
+    # (declared here): both divergence directions in one spec.
+    decision_kinds=("threshold_trip",),
+))

@@ -1,0 +1,23 @@
+"""Fixture calendar layers: a value collision and a raw-integer site."""
+
+PRIORITY_MODEL = 0
+PRIORITY_SAMPLER = 10
+PRIORITY_MONITOR = 10
+
+
+class Calendar:
+    def __init__(self) -> None:
+        self.slots: list[tuple] = []
+
+    def schedule(self, when: float, callback: object, *,
+                 priority: int = PRIORITY_MODEL) -> None:
+        self.slots.append((when, priority, callback))
+
+
+def tick() -> None:
+    pass
+
+
+def arm(calendar: Calendar) -> None:
+    calendar.schedule(1.0, tick, priority=PRIORITY_SAMPLER)
+    calendar.schedule(2.0, tick, priority=3)

@@ -1,0 +1,10 @@
+"""Fixture: suppression comment on the last line of a multi-line stmt."""
+
+import time
+
+
+def window() -> tuple:
+    return (
+        0.0,
+        time.time(),
+    )  # repro-lint: ignore[wall-clock]

@@ -41,10 +41,92 @@ def test_json_schema(capsys):
     assert payload["root"] == [target]
     assert payload["files_checked"] >= 1
     assert payload["counts"] == {"wall-clock": 1}
+    assert payload["deep"] is False
+    assert "wall-clock" in payload["rules"]
+    assert payload["suppressed"] == 0
+    assert "schema" not in payload  # shallow runs record no fingerprint
     (violation,) = payload["violations"]
     assert set(violation) == {"rule", "path", "line", "col", "message"}
     assert violation["rule"] == "wall-clock"
     assert violation["path"].endswith("timing.py")
+
+
+def test_deep_flag_runs_the_deep_rules(capsys):
+    target = os.path.join(FIXTURES, "deep_priority")
+    assert main(["lint", target]) == 0  # shallow pass sees nothing
+    capsys.readouterr()
+    rc = main(["lint", "--deep", "--json", target])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["deep"] is True
+    assert "deep-priority-layers" in payload["rules"]
+    assert payload["counts"] == {"deep-priority-layers": 2}
+
+
+def test_deep_json_over_package_carries_schema_fingerprint(capsys):
+    rc = main(["lint", "--deep", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0, payload["violations"]
+    assert payload["violations"] == []
+    fingerprint = payload["schema"]["fingerprint"]
+    assert len(fingerprint) == 64
+    assert isinstance(payload["schema"]["version"], int)
+
+
+def test_bare_rules_flag_lists_the_registry(capsys):
+    rc = main(["lint", "--rules"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    header, *rows = [line for line in out.splitlines() if line.strip()]
+    assert {"rule", "deep", "supersedes", "summary"} <= set(header.split())
+    assert any("deep-bus-vocabulary" in row and "yes" in row for row in rows)
+    assert any(
+        "deep-frozen-flow" in row and "frozen-mutate" in row for row in rows
+    )
+    assert "deselect" in out
+
+
+def test_rules_flag_selects_a_deep_rule_without_deep(capsys):
+    target = os.path.join(FIXTURES, "deep_frozen")
+    rc = main(["lint", "--rules", "deep-frozen-flow", target])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "[deep-frozen-flow]" in out
+
+
+def test_rules_flag_deselects(capsys):
+    # `-id` must be attached with `=` so argparse doesn't read a flag.
+    target = os.path.join(FIXTURES, "wall_clock")
+    assert main(["lint", "--rules=-wall-clock", target]) == 0
+
+
+def test_baseline_round_trip_gates_on_growth(tmp_path, capsys):
+    target = os.path.join(FIXTURES, "deep_priority")
+    baseline = str(tmp_path / "baseline.json")
+    # Record the two pre-existing findings as the accepted backlog...
+    rc = main(["lint", "--deep", "--update-baseline", baseline, target])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "baseline written" in captured.err
+    payload = json.loads(open(baseline).read())
+    assert sum(payload["findings"].values()) == 2
+    # ...after which the same tree passes the gate.
+    rc = main(["lint", "--deep", "--baseline", baseline, target])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "baseline: 0 new, 2 known, 0 retired" in out
+    # A different fixture's findings are growth: the gate fails.
+    other = os.path.join(FIXTURES, "deep_frozen")
+    rc = main(["lint", "--deep", "--baseline", baseline, other])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "baseline: 2 new" in out
+    rc = main(["lint", "--deep", "--json", "--baseline", baseline, other])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["baseline"]["new"] == 2
+    assert len(payload["baseline"]["new_findings"]) == 2
+    assert payload["baseline"]["schema_note"] is None
 
 
 def test_rules_subset_flag(capsys):

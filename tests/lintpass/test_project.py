@@ -1,0 +1,154 @@
+"""The whole-program layer: call graph, dataflow, constant resolution."""
+
+import ast
+import os
+import textwrap
+
+import pytest
+
+from repro.errors import LintError
+from repro.lintpass.project import ClassInfo, ProjectIndex
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A three-module package exercising aliases, inheritance, helpers."""
+    pkg = tmp_path / "repro"
+    (pkg / "control").mkdir(parents=True)
+    (pkg / "scaling").mkdir(parents=True)
+    (pkg / "control" / "events.py").write_text(textwrap.dedent("""\
+        SCALE_OUT = "scale_out"
+        SCALE_IN = "scale_in"
+        MODE_KINDS = (SCALE_OUT, SCALE_IN)
+        ENTERED, LEFT = MODE_KINDS
+    """))
+    (pkg / "scaling" / "base.py").write_text(textwrap.dedent("""\
+        from repro.control.events import SCALE_OUT
+
+
+        class BaseController:
+            def emit(self, kind: str) -> None:
+                self.sink.append(kind)
+
+            def tick(self) -> None:
+                self.emit(SCALE_OUT)
+    """))
+    (pkg / "scaling" / "impl.py").write_text(textwrap.dedent("""\
+        from repro.scaling.base import BaseController
+
+
+        class FancyController(BaseController):
+            def step(self, fast: bool) -> None:
+                kind = "fast_path" if fast else "slow_path"
+                self.emit(kind)
+
+
+        def build() -> FancyController:
+            return FancyController()
+    """))
+    return ProjectIndex.build([str(tmp_path)])
+
+
+def find_call(index, module_suffix, callee_attr):
+    for file in index.files:
+        if not file.module.endswith(module_suffix):
+            continue
+        for node in ast.walk(file.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == callee_attr
+            ):
+                return file, node
+    raise AssertionError(f"no {callee_attr} call in {module_suffix}")
+
+
+def test_functions_are_keyed_by_qualname(tree):
+    names = set(tree.functions)
+    assert "repro.scaling.base.BaseController.emit" in names
+    assert "repro.scaling.impl.FancyController.step" in names
+    assert "repro.scaling.impl.build" in names
+
+
+def test_resolve_call_follows_the_class_chain(tree):
+    # self.emit inside FancyController.step resolves to the method the
+    # *base* class provides.
+    file, call = find_call(tree, "scaling.impl", "emit")
+    enclosing = tree.enclosing_function(file, call)
+    assert enclosing is not None and enclosing.cls == "FancyController"
+    target = tree.resolve_call(file, enclosing, call)
+    assert target is not None
+    assert target.qualname == "repro.scaling.base.BaseController.emit"
+
+
+def test_resolve_call_constructor_returns_class_info(tree):
+    for file in tree.files:
+        if file.module.endswith("scaling.impl"):
+            break
+    ctor = next(
+        node for node in ast.walk(file.tree)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+        and node.func.id == "FancyController"
+    )
+    enclosing = tree.enclosing_function(file, ctor)
+    target = tree.resolve_call(file, enclosing, ctor)
+    assert isinstance(target, ClassInfo)
+    assert target.name == "FancyController"
+
+
+def test_callers_index_records_both_emit_sites(tree):
+    sites = tree.callers().get("repro.scaling.base.BaseController.emit", [])
+    caller_names = sorted(
+        func.qualname for _, func, _ in sites if func is not None
+    )
+    assert caller_names == [
+        "repro.scaling.base.BaseController.tick",
+        "repro.scaling.impl.FancyController.step",
+    ]
+
+
+def test_module_constants_resolve_tuples_and_unpacking(tree):
+    constants = tree.module_constants("repro.control.events")
+    assert constants["SCALE_OUT"] == "scale_out"
+    assert constants["MODE_KINDS"] == ("scale_out", "scale_in")
+    # Tuple-unpack: ENTERED, LEFT = MODE_KINDS.
+    assert constants["ENTERED"] == "scale_out"
+    assert constants["LEFT"] == "scale_in"
+
+
+def test_resolve_value_through_alias_import(tree):
+    # SCALE_OUT at the base-module emit site resolves across the
+    # from-import to the events-module constant.
+    file, call = find_call(tree, "scaling.base", "emit")
+    enclosing = tree.enclosing_function(file, call)
+    resolved = tree.resolve_value(call.args[0], file, tree.flow(enclosing))
+    assert resolved.values == frozenset({"scale_out"})
+    assert resolved.exact
+
+
+def test_resolve_value_through_local_ifexp_assignment(tree):
+    # kind = "fast_path" if fast else "slow_path"; self.emit(kind)
+    file, call = find_call(tree, "scaling.impl", "emit")
+    enclosing = tree.enclosing_function(file, call)
+    resolved = tree.resolve_value(call.args[0], file, tree.flow(enclosing))
+    assert resolved.values == frozenset({"fast_path", "slow_path"})
+
+
+def test_build_rejects_unparsable_source(tmp_path):
+    bad = tmp_path / "repro"
+    bad.mkdir()
+    (bad / "broken.py").write_text("def oops(:\n")
+    with pytest.raises(LintError, match="broken.py"):
+        ProjectIndex.build([str(tmp_path)])
+
+
+def test_all_fields_include_inherited_ones(tree):
+    fixtures = os.path.join(
+        os.path.dirname(__file__), "fixtures", "digest_coverage"
+    )
+    index = ProjectIndex.build([fixtures])
+    info = index.resolve_class("WideSpec")
+    assert info is not None
+    fields = index.all_fields(info)
+    assert "duration" in fields  # own
+    assert "scale" in fields     # inherited from MiniSpec

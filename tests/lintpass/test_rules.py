@@ -10,24 +10,33 @@ import os
 import pytest
 
 from repro.errors import LintError
-from repro.lintpass import all_rules, run_lint
+from repro.lintpass import all_rules, run_lint, select_rules
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
 
+SHALLOW_RULES = {
+    "rng-direct", "wall-clock", "unordered-iter", "digest-coverage",
+    "event-kinds", "frozen-mutate",
+}
+DEEP_RULES = {
+    "deep-digest-provenance", "deep-bus-vocabulary",
+    "deep-priority-layers", "deep-frozen-flow",
+}
 
-def lint(case: str, rules=None):
-    return run_lint([os.path.join(FIXTURES, case)], rules=rules)
+
+def lint(case: str, rules=None, deep: bool = False):
+    return run_lint([os.path.join(FIXTURES, case)], rules=rules, deep=deep)
 
 
 def rules_fired(report) -> set[str]:
     return {v.rule for v in report.violations}
 
 
-def test_registry_has_all_six_rules():
-    assert set(all_rules()) == {
-        "rng-direct", "wall-clock", "unordered-iter", "digest-coverage",
-        "event-kinds", "frozen-mutate",
-    }
+def test_registry_has_all_ten_rules():
+    assert set(all_rules()) == SHALLOW_RULES | DEEP_RULES
+    registry = all_rules()
+    assert all(registry[rule_id].deep for rule_id in DEEP_RULES)
+    assert not any(registry[rule_id].deep for rule_id in SHALLOW_RULES)
 
 
 def test_rng_direct_fixture():
@@ -105,6 +114,109 @@ def test_suppression_comment_silences_and_is_reported():
     assert report.suppressed[0].rule == "wall-clock"
 
 
+def test_suppression_covers_multiline_statement_span():
+    # The comment sits on the closing-paren line; the violation anchors
+    # on the time.time() line two lines up. The statement-span expansion
+    # must connect them.
+    report = lint("suppressed_multiline")
+    assert report.clean, [v.render() for v in report.violations]
+    assert len(report.suppressed) == 1
+    assert report.suppressed[0].rule == "wall-clock"
+
+
+# ----------------------------------------------------------------------
+# deep (whole-program) rules
+# ----------------------------------------------------------------------
+def test_deep_rules_do_not_run_without_the_flag():
+    report = lint("deep_priority")
+    assert report.clean
+    assert set(report.rules_run) == SHALLOW_RULES
+
+
+def test_deep_digest_provenance_fixture():
+    report = lint("deep_digest", deep=True)
+    assert rules_fired(report) == {"deep-digest-provenance"}
+    messages = sorted(v.message for v in report.violations)
+    assert len(messages) == 2
+    # A field reachable only through self._digest_parts() is credited;
+    # the one no helper touches is the finding.
+    assert "'HelperSpec'" in messages[1]
+    assert "seed" in messages[1]
+    assert "name" not in messages[1] and "scale" not in messages[1]
+    # The parsed-but-never-read CLI flag.
+    assert "--dead-knob" in messages[0]
+
+
+def test_deep_bus_vocabulary_fixture():
+    report = lint("deep_events", deep=True)
+    assert rules_fired(report) == {"deep-bus-vocabulary"}
+    messages = [v.message for v in report.violations]
+    assert len(messages) == 5
+    # Helper-forwarded kind the shallow literal scan cannot see.
+    assert any("'mystery_kind'" in m and "helper chain" in m
+               for m in messages)
+    # Declared but never emitted nor consumed.
+    assert any("'dead_kind'" in m and "never emitted" in m
+               for m in messages)
+    # Handler branch with no live publisher.
+    assert any("'ghost_kind'" in m and "no publisher" in m
+               for m in messages)
+    # decision_kinds divergence, both directions.
+    assert any("'demo' emits decision kind 'scale_out'" in m
+               for m in messages)
+    assert any("'demo' declares decision kind 'threshold_trip'" in m
+               for m in messages)
+
+
+def test_deep_priority_layers_fixture():
+    report = lint("deep_priority", deep=True)
+    assert rules_fired(report) == {"deep-priority-layers"}
+    messages = [v.message for v in report.violations]
+    assert len(messages) == 2
+    assert any("raw integer priority" in m for m in messages)
+    assert any("PRIORITY_MONITOR = 10 collides with PRIORITY_SAMPLER" in m
+               for m in messages)
+    # The named-constant call site on the line above must NOT fire.
+    raw = [v for v in report.violations if "raw integer" in v.message]
+    assert len(raw) == 1
+
+
+def test_deep_frozen_flow_fixture():
+    report = lint("deep_frozen", deep=True)
+    assert rules_fired(report) == {"deep-frozen-flow"}
+    messages = [v.message for v in report.violations]
+    assert len(messages) == 2
+    assert any("aliases object.__setattr__" in m for m in messages)
+    assert any("frozen dataclass 'Plan'" in m for m in messages)
+    # The __post_init__-rooted helper is the shallow rule's false
+    # positive; the deep rule resolves the callers and stays quiet.
+    assert not any(v.line == 17 for v in report.violations)
+
+
+def test_deep_supersedes_drops_the_shallow_rule():
+    report = lint("deep_frozen", deep=True)
+    assert "frozen-mutate" not in report.rules_run
+    assert "digest-coverage" not in report.rules_run
+    assert "deep-frozen-flow" in report.rules_run
+    # Non-superseded shallow rules still run alongside the deep set.
+    assert "wall-clock" in report.rules_run
+
+
+def test_select_rules_deselection_and_supersedes():
+    registry = all_rules()
+    assert set(select_rules(registry, None, deep=False)) == SHALLOW_RULES
+    deep = set(select_rules(registry, None, deep=True))
+    assert "digest-coverage" not in deep and "frozen-mutate" not in deep
+    assert DEEP_RULES <= deep
+    minus = select_rules(registry, ["-wall-clock"], deep=False)
+    assert "wall-clock" not in minus and "rng-direct" in minus
+    # Naming a deep rule explicitly selects it even without --deep.
+    only = select_rules(registry, ["deep-priority-layers"], deep=False)
+    assert only == ["deep-priority-layers"]
+    with pytest.raises(LintError, match="unknown rule id"):
+        select_rules(registry, ["-bogus"], deep=False)
+
+
 def test_rule_subset_selection():
     report = lint("wall_clock", rules=["rng-direct"])
     assert report.clean  # the wall-clock violation is outside the subset
@@ -143,3 +255,19 @@ def test_source_tree_is_clean():
     )
     # The one known justified suppression: the RunSpec digest memo.
     assert any(v.rule == "frozen-mutate" for v in report.suppressed)
+
+
+def test_source_tree_is_deep_clean():
+    """The whole-program analyses must pass over the shipped tree too,
+    and the digest-memo suppression written against frozen-mutate must
+    keep silencing the deep rule that supersedes it."""
+    import repro
+
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    report = run_lint([package_dir], deep=True)
+    assert report.violations == (), "\n".join(
+        v.render() for v in report.violations
+    )
+    assert any(v.rule == "deep-frozen-flow" for v in report.suppressed)
+    assert report.schema_fingerprint is not None
+    assert isinstance(report.schema_version, int)
