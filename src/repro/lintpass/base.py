@@ -135,6 +135,20 @@ def parse_suppressions(lines: Iterable[str]) -> dict[int, frozenset[str]]:
     return out
 
 
+#: Compound statement types a suppression must never expand across:
+#: covering an ``if``/``for``/``def`` span would silence the rule for
+#: every statement in the block, not just the annotated one.
+_COMPOUND_STMTS: tuple[type[ast.AST], ...] = tuple(
+    getattr(ast, name)
+    for name in (
+        "If", "For", "AsyncFor", "While", "With", "AsyncWith",
+        "Try", "TryStar", "FunctionDef", "AsyncFunctionDef",
+        "ClassDef", "Match",
+    )
+    if hasattr(ast, name)
+)
+
+
 def expand_suppressions(
     tree: ast.Module, suppressed: dict[int, frozenset[str]]
 ) -> dict[int, frozenset[str]]:
@@ -143,15 +157,22 @@ def expand_suppressions(
     A violation is reported at the *first* line of its node, but a
     multi-line call naturally carries its ``repro-lint: ignore``
     comment on whichever physical line holds the offending argument or
-    the closing paren. Map each suppression onto the innermost statement
-    whose line span contains it, covering every line of that span, so
-    the comment silences the finding wherever it is anchored.
+    the closing paren. Map each suppression onto the innermost *simple*
+    statement whose line span contains it, covering every line of that
+    span, so the comment silences the finding wherever it is anchored.
+    Compound statements (``if``/``for``/``def``/...) are excluded: a
+    suppression on a one-line statement inside a block must stay exact,
+    not blanket the whole block.
     """
     if not suppressed:
         return suppressed
     spans: list[tuple[int, int]] = []
     for node in ast.walk(tree):
-        if isinstance(node, ast.stmt) and node.end_lineno is not None:
+        if (
+            isinstance(node, ast.stmt)
+            and not isinstance(node, _COMPOUND_STMTS)
+            and node.end_lineno is not None
+        ):
             spans.append((node.lineno, node.end_lineno))
     expanded: dict[int, set[str]] = {
         line: set(ids) for line, ids in suppressed.items()

@@ -75,8 +75,11 @@ class BaselineDelta:
     matched: int = 0
     #: baseline entries no longer reproduced — eligible for burn-down.
     retired: int = 0
-    #: schema fingerprint changed without a SCHEMA_VERSION bump.
+    #: schema fingerprint changed without a SCHEMA_VERSION bump — gates.
     schema_note: str | None = None
+    #: fingerprint moved *with* a version bump: legal, but the baseline
+    #: still pins the old pair — non-gating reminder to re-record it.
+    schema_refresh: str | None = None
     #: keys of the new findings, for rendering.
     new_keys: tuple[str, ...] = field(default=())
 
@@ -141,34 +144,44 @@ def compare_baseline(
             new.append(violation)
             new_keys.append(key)
     retired = sum(1 for count in budget.values() if count > 0)
-    schema_note = _schema_note(report, baseline)
+    schema_note, schema_refresh = _schema_notes(report, baseline)
     return BaselineDelta(
         new=tuple(new),
         matched=matched,
         retired=retired,
         schema_note=schema_note,
+        schema_refresh=schema_refresh,
         new_keys=tuple(new_keys),
     )
 
 
-def _schema_note(
+def _schema_notes(
     report: LintReport, baseline: dict[str, object]
-) -> str | None:
+) -> tuple[str | None, str | None]:
+    """(gating note, non-gating refresh reminder) for the schema pin."""
     recorded_fp = baseline.get("schema_fingerprint")
     recorded_version = baseline.get("schema_version")
     if (
         report.schema_fingerprint is None
         or not isinstance(recorded_fp, str)
     ):
-        return None
+        return None, None
     if report.schema_fingerprint == recorded_fp:
-        return None
+        return None, None
     if report.schema_version != recorded_version:
-        return None  # fingerprint moved *with* a version bump: legal
+        # Fingerprint moved *with* a version bump: legal, but until the
+        # baseline is re-recorded it pins the pre-bump pair and cannot
+        # catch the *next* field-set drift — remind, don't gate.
+        return None, (
+            "schema fingerprint moved with a SCHEMA_VERSION bump "
+            f"({recorded_version} -> {report.schema_version}); re-run "
+            "with --update-baseline to re-pin the fingerprint so the "
+            "drift gate re-arms"
+        )
     return (
         "digested-spec field set changed (schema fingerprint "
         f"{recorded_fp[:12]} -> {report.schema_fingerprint[:12]}) without "
         f"a SCHEMA_VERSION bump (still {report.schema_version}); bump "
         "SCHEMA_VERSION in repro/experiments/artifact.py and re-record "
         "the baseline"
-    )
+    ), None

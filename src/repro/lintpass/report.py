@@ -16,7 +16,8 @@ The JSON schema (version 2)::
       "suppressed": 2,
       "schema": {"fingerprint": "...", "version": 7},        # deep only
       "baseline": {"new": 0, "matched": 3, "retired": 1,
-                   "schema_note": null}                      # with --baseline
+                   "schema_note": null,
+                   "schema_refresh": null}                   # with --baseline
     }
 
 ``violations`` is sorted by (path, line, col, rule) and ``counts``
@@ -69,6 +70,8 @@ def render_text(
             )
         if delta.schema_note is not None:
             lines.append(f"schema: {delta.schema_note}")
+        if delta.schema_refresh is not None:
+            lines.append(f"schema (non-gating): {delta.schema_refresh}")
     return "\n".join(lines)
 
 
@@ -103,6 +106,7 @@ def render_json(
             "matched": delta.matched,
             "retired": delta.retired,
             "schema_note": delta.schema_note,
+            "schema_refresh": delta.schema_refresh,
             "new_findings": [
                 {"rule": v.rule, "path": v.path, "line": v.line,
                  "col": v.col, "message": v.message}

@@ -114,23 +114,53 @@ def _call_simple_name(call: ast.Call) -> str:
     return ""
 
 
+class _DynamicBinding:
+    """Sentinel: the call site binds ``param`` through ``*args`` or
+    ``**kwargs``, so the bound value is statically unknowable — distinct
+    from ``None`` (the parameter's default applies)."""
+
+
+_DYNAMIC = _DynamicBinding()
+
+
 def _bind_argument(
     call: ast.Call, params: tuple[str, ...], param: str
-) -> ast.expr | None:
-    """The expression a call binds to ``param`` (None = not statically
-    bindable: *args/**kwargs in the way, or the default applies)."""
+) -> ast.expr | _DynamicBinding | None:
+    """The expression a call binds to ``param``.
+
+    Returns the bound expression, :data:`_DYNAMIC` when ``*args`` or
+    ``**kwargs`` make the binding unresolvable (anything could bind),
+    or ``None`` when the parameter's default applies at this site.
+    """
     for keyword in call.keywords:
         if keyword.arg == param:
             return keyword.value
-        if keyword.arg is None:  # **kwargs — anything could bind
-            return None
+    if any(keyword.arg is None for keyword in call.keywords):
+        return _DYNAMIC  # **kwargs — anything could bind
     if any(isinstance(arg, ast.Starred) for arg in call.args):
-        return None
-    if param not in params:
-        return None
-    position = params.index(param)
-    if position < len(call.args):
-        return call.args[position]
+        return _DYNAMIC
+    if param in params:
+        position = params.index(param)
+        if position < len(call.args):
+            return call.args[position]
+    return None
+
+
+def _param_default(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, param: str
+) -> ast.expr | None:
+    """The default expression of ``param``, or None if it has none."""
+    args = func.args
+    positional = [*args.posonlyargs, *args.args]
+    offset = len(positional) - len(args.defaults)
+    for position, arg in enumerate(positional):
+        if arg.arg == param:
+            if position >= offset:
+                return args.defaults[position - offset]
+            return None
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if arg.arg == param:
+            return default
     return None
 
 
@@ -156,12 +186,16 @@ def bus_graph(index: ProjectIndex) -> BusGraph:
         shallow: bool,
         visited: frozenset[tuple[str, str]],
         depth: int,
+        owner: str | None = None,
     ) -> None:
         nonlocal complete
         flow = index.flow(func) if func is not None else None
         resolved = index.resolve_value(expr, file, flow)
         if not resolved.exact and not resolved.params:
             complete = False
+        cls = owner if owner is not None else (
+            func.cls if func is not None else None
+        )
         for value in resolved.values:
             if isinstance(value, str):
                 emissions.append(
@@ -170,7 +204,7 @@ def bus_graph(index: ProjectIndex) -> BusGraph:
                         file=file,
                         line=expr.lineno,
                         col=expr.col_offset,
-                        cls=func.cls if func is not None else None,
+                        cls=cls,
                         shallow_covered=shallow and _is_literal_kind(expr),
                     )
                 )
@@ -182,11 +216,20 @@ def bus_graph(index: ProjectIndex) -> BusGraph:
             if key in visited:
                 continue
             sites = callers.get(func.qualname, [])
+            if not sites:
+                # A param-carrying emitter whose callers the graph could
+                # not resolve contributes an unknown kind set; absence
+                # proofs are off the table.
+                complete = False
+                continue
+            default_applies = False
             for caller_file, caller_func, call in sites:
                 argument = _bind_argument(call, func.params, param)
+                if isinstance(argument, _DynamicBinding):
+                    complete = False
+                    continue
                 if argument is None:
-                    # Default applies or binding is dynamic; the default
-                    # expression is not a call site, so nothing to prove.
+                    default_applies = True
                     continue
                 shallow_here = (
                     _call_simple_name(call) in _SHALLOW_EMITTERS
@@ -199,6 +242,19 @@ def bus_graph(index: ProjectIndex) -> BusGraph:
                     visited | {key},
                     depth - 1,
                 )
+            if default_applies:
+                default = _param_default(func.node, param)
+                if default is None:
+                    complete = False  # required param left unbound
+                else:
+                    # Defaults evaluate at module scope — resolve with
+                    # no enclosing flow so same-named locals can't leak,
+                    # but attribute the kind to the helper's class.
+                    resolve_kind(
+                        default, func.file, None, shallow=False,
+                        visited=visited | {key}, depth=depth - 1,
+                        owner=func.cls,
+                    )
 
     for file in index.files:
         for node in ast.walk(file.tree):

@@ -32,6 +32,9 @@ def _is_named_priority(expr: ast.expr) -> bool:
     non-literal value (parameters, attributes — resolved elsewhere)."""
     if isinstance(expr, ast.Constant):
         return False
+    if isinstance(expr, ast.UnaryOp):
+        # A signed literal (``priority=-1``) is still a raw integer.
+        return _is_named_priority(expr.operand)
     if isinstance(expr, ast.BinOp):
         return _is_named_priority(expr.left) or _is_named_priority(expr.right)
     if isinstance(expr, ast.Name):

@@ -1,9 +1,9 @@
-"""Fixture vocabulary: one dead kind, one ghost kind, two live ones."""
+"""Fixture vocabulary: one dead kind, one ghost kind, live ones."""
 
 from dataclasses import dataclass
 
 __all__ = ["DecisionEvent", "THRESHOLD_TRIP", "SCALE_OUT", "DEAD_KIND",
-           "GHOST_KIND"]
+           "GHOST_KIND", "DEFAULTED_KIND"]
 
 THRESHOLD_TRIP = "threshold_trip"
 SCALE_OUT = "scale_out"
@@ -11,6 +11,9 @@ SCALE_OUT = "scale_out"
 DEAD_KIND = "dead_kind"
 #: declared and consumed by a handler, but no publisher emits it.
 GHOST_KIND = "ghost_kind"
+#: emitted only through a helper's parameter *default* — must count as
+#: live, not as a ghost.
+DEFAULTED_KIND = "defaulted_kind"
 
 
 @dataclass(frozen=True)

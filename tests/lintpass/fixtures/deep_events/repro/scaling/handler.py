@@ -1,12 +1,18 @@
 """Fixture subscriber: one live branch, one publisher-less branch."""
 
-from repro.control.events import GHOST_KIND, THRESHOLD_TRIP, DecisionEvent
+from repro.control.events import (
+    DEFAULTED_KIND,
+    GHOST_KIND,
+    THRESHOLD_TRIP,
+    DecisionEvent,
+)
 
 
 class Listener:
     def __init__(self) -> None:
         self.trips = 0
         self.ghosts = 0
+        self.nudges = 0
 
     def on_decision(self, event: DecisionEvent) -> None:
         if event.kind == THRESHOLD_TRIP:
@@ -14,3 +20,6 @@ class Listener:
         # No publisher in the tree emits GHOST_KIND: dead branch.
         elif event.kind == GHOST_KIND:
             self.ghosts += 1
+        # Published via nudge()'s default — a live branch, not a ghost.
+        elif event.kind == DEFAULTED_KIND:
+            self.nudges += 1

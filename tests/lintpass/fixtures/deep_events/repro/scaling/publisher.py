@@ -1,6 +1,6 @@
 """Fixture publisher: emits through a helper the shallow rule cannot see."""
 
-from repro.control.events import THRESHOLD_TRIP, DecisionEvent
+from repro.control.events import DEFAULTED_KIND, THRESHOLD_TRIP, DecisionEvent
 
 
 class BusClient:
@@ -10,7 +10,12 @@ class BusClient:
     def _publish(self, kind: str) -> None:
         self.outbox.append(DecisionEvent(0.0, kind))
 
+    def nudge(self, kind: str = DEFAULTED_KIND) -> None:
+        self._publish(kind)
+
     def tick(self) -> None:
         self._publish(THRESHOLD_TRIP)
         # Helper-forwarded and undeclared: the deep finding to plant.
         self._publish("mystery_kind")
+        # No argument: the *default* kind must count as emitted.
+        self.nudge()

@@ -1,0 +1,15 @@
+"""Fixture vocabulary for the dynamic-binding completeness case."""
+
+from dataclasses import dataclass
+
+__all__ = ["DecisionEvent", "PHANTOM_KIND"]
+
+#: consumed by a handler; the only emitter binds its kind dynamically,
+#: so absence can't be proven and no ghost finding may fire.
+PHANTOM_KIND = "phantom_kind"
+
+
+@dataclass(frozen=True)
+class DecisionEvent:
+    time: float
+    kind: str

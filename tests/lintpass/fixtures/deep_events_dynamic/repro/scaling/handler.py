@@ -1,0 +1,12 @@
+"""Fixture subscriber matching a kind only the dynamic emitter sends."""
+
+from repro.control.events import PHANTOM_KIND, DecisionEvent
+
+
+class Listener:
+    def __init__(self) -> None:
+        self.hits = 0
+
+    def on_decision(self, event: DecisionEvent) -> None:
+        if event.kind == PHANTOM_KIND:
+            self.hits += 1

@@ -1,0 +1,16 @@
+"""Fixture publisher whose kind binding is dynamic (``**payload``)."""
+
+from repro.control.events import DecisionEvent
+
+
+class Bus:
+    def __init__(self) -> None:
+        self.outbox: list[DecisionEvent] = []
+
+    def _emit(self, kind: str) -> None:
+        self.outbox.append(DecisionEvent(0.0, kind))
+
+    def replay(self, payload: dict) -> None:
+        # Anything could bind `kind` here — the emitted-kind set is a
+        # lower bound and completeness must drop.
+        self._emit(**payload)

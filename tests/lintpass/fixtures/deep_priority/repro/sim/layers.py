@@ -21,3 +21,7 @@ def tick() -> None:
 def arm(calendar: Calendar) -> None:
     calendar.schedule(1.0, tick, priority=PRIORITY_SAMPLER)
     calendar.schedule(2.0, tick, priority=3)
+    # A signed literal is still a raw integer, not a named layer.
+    calendar.schedule(3.0, tick, priority=-1)
+    # Offsetting a named layer stays legal, sign included.
+    calendar.schedule(4.0, tick, priority=-PRIORITY_MODEL)

@@ -80,14 +80,28 @@ def test_schema_drift_without_version_bump_fails():
     assert not delta.gate_passed
     assert delta.schema_note is not None
     assert "SCHEMA_VERSION" in delta.schema_note
+    assert delta.schema_refresh is None
 
 
-def test_schema_drift_with_version_bump_is_legal():
+def test_schema_drift_with_version_bump_is_legal_but_reminds():
     base = baseline_payload(report([], fingerprint="a" * 64, version=7))
     delta = compare_baseline(
         report([], fingerprint="b" * 64, version=8), base
     )
     assert delta.gate_passed and delta.schema_note is None
+    # The gate stays open, but the stale pin must not pass silently —
+    # otherwise the fingerprint gate is disarmed until someone notices.
+    assert delta.schema_refresh is not None
+    assert "--update-baseline" in delta.schema_refresh
+
+
+def test_unchanged_schema_has_no_refresh_note():
+    base = baseline_payload(report([], fingerprint="a" * 64, version=7))
+    delta = compare_baseline(
+        report([], fingerprint="a" * 64, version=7), base
+    )
+    assert delta.gate_passed
+    assert delta.schema_note is None and delta.schema_refresh is None
 
 
 def test_write_and_load_round_trip(tmp_path):

@@ -60,7 +60,7 @@ def test_deep_flag_runs_the_deep_rules(capsys):
     assert rc == 1
     assert payload["deep"] is True
     assert "deep-priority-layers" in payload["rules"]
-    assert payload["counts"] == {"deep-priority-layers": 2}
+    assert payload["counts"] == {"deep-priority-layers": 3}
 
 
 def test_deep_json_over_package_carries_schema_fingerprint(capsys):
@@ -103,18 +103,18 @@ def test_rules_flag_deselects(capsys):
 def test_baseline_round_trip_gates_on_growth(tmp_path, capsys):
     target = os.path.join(FIXTURES, "deep_priority")
     baseline = str(tmp_path / "baseline.json")
-    # Record the two pre-existing findings as the accepted backlog...
+    # Record the three pre-existing findings as the accepted backlog...
     rc = main(["lint", "--deep", "--update-baseline", baseline, target])
     captured = capsys.readouterr()
     assert rc == 0
     assert "baseline written" in captured.err
     payload = json.loads(open(baseline).read())
-    assert sum(payload["findings"].values()) == 2
+    assert sum(payload["findings"].values()) == 3
     # ...after which the same tree passes the gate.
     rc = main(["lint", "--deep", "--baseline", baseline, target])
     out = capsys.readouterr().out
     assert rc == 0
-    assert "baseline: 0 new, 2 known, 0 retired" in out
+    assert "baseline: 0 new, 3 known, 0 retired" in out
     # A different fixture's findings are growth: the gate fails.
     other = os.path.join(FIXTURES, "deep_frozen")
     rc = main(["lint", "--deep", "--baseline", baseline, other])

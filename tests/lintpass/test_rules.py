@@ -124,6 +124,27 @@ def test_suppression_covers_multiline_statement_span():
     assert report.suppressed[0].rule == "wall-clock"
 
 
+def test_suppression_does_not_blanket_enclosing_block(tmp_path):
+    # A suppression on a one-line statement inside a function must stay
+    # exact: expanding to the innermost *compound* statement would
+    # silence the rule for the whole body.
+    tree = tmp_path / "repro" / "sim"
+    tree.mkdir(parents=True)
+    (tree / "x.py").write_text(
+        "import time\n\n\n"
+        "def stamp() -> float:\n"
+        "    t = time.time()  # repro-lint: ignore[wall-clock]\n"
+        "    return t + time.time()\n"
+    )
+    report = run_lint([str(tmp_path)])
+    assert len(report.suppressed) == 1
+    assert report.suppressed[0].line == 5
+    assert len(report.violations) == 1, [
+        v.render() for v in report.violations
+    ]
+    assert report.violations[0].line == 6
+
+
 # ----------------------------------------------------------------------
 # deep (whole-program) rules
 # ----------------------------------------------------------------------
@@ -166,19 +187,37 @@ def test_deep_bus_vocabulary_fixture():
                for m in messages)
     assert any("'demo' declares decision kind 'threshold_trip'" in m
                for m in messages)
+    # A kind emitted only through nudge()'s parameter default is live:
+    # neither a ghost nor dead vocabulary.
+    assert not any("'defaulted_kind'" in m for m in messages)
+
+
+def test_deep_bus_dynamic_binding_disables_absence_proofs():
+    # The only emitter binds `kind` via **payload: the emitted-kind set
+    # is a lower bound, so the publisher-less-handler proof must not
+    # fire against PHANTOM_KIND.
+    from repro.lintpass.project import ProjectIndex
+    from repro.lintpass.rules_deep_events import bus_graph
+
+    case = os.path.join(FIXTURES, "deep_events_dynamic")
+    index = ProjectIndex.build([case])
+    assert bus_graph(index).complete is False
+    report = lint("deep_events_dynamic", deep=True)
+    assert report.clean, [v.render() for v in report.violations]
 
 
 def test_deep_priority_layers_fixture():
     report = lint("deep_priority", deep=True)
     assert rules_fired(report) == {"deep-priority-layers"}
     messages = [v.message for v in report.violations]
-    assert len(messages) == 2
+    assert len(messages) == 3
     assert any("raw integer priority" in m for m in messages)
     assert any("PRIORITY_MONITOR = 10 collides with PRIORITY_SAMPLER" in m
                for m in messages)
-    # The named-constant call site on the line above must NOT fire.
+    # The two named-constant call sites (plain and sign-offset) must
+    # NOT fire; the plain literal and the signed literal both must.
     raw = [v for v in report.violations if "raw integer" in v.message]
-    assert len(raw) == 1
+    assert len(raw) == 2
 
 
 def test_deep_frozen_flow_fixture():
